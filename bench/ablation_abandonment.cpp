@@ -1,0 +1,115 @@
+// Ablation: viewer abandonment under finite stall patience.
+//
+// The engagement literature the paper cites (Krishnan & Sitaraman IMC'12)
+// shows viewers leave during long rebuffers. Giving simulated viewers a
+// 60-second patience converts the BBA family's fewer/shorter stalls into
+// fewer lost sessions -- the business metric behind the paper's rebuffer
+// reductions.
+#include <memory>
+
+#include "abr/baselines.hpp"
+#include "abr/control.hpp"
+#include "bench_common.hpp"
+#include "core/bba2.hpp"
+#include "core/bba_others.hpp"
+#include "exp/population.hpp"
+#include "exp/workload.hpp"
+#include "sim/metrics.hpp"
+#include "sim/player.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace bba;
+
+struct Outcome {
+  int sessions = 0;
+  int abandoned = 0;
+  double watched_hours = 0.0;
+  double intended_hours = 0.0;
+};
+
+Outcome run(const std::function<std::unique_ptr<abr::RateAdaptation>()>&
+                factory) {
+  const media::VideoLibrary& library = bench::standard_library();
+  // Stress configuration: every session sees temporary outages (Sec. 7.1)
+  // and all sessions run in the congested peak windows.
+  exp::PopulationConfig pop_cfg;
+  pop_cfg.outage_session_fraction = 1.0;
+  const exp::Population population(pop_cfg);
+  const exp::WorkloadConfig workload;
+  Outcome out;
+  constexpr int kSessions = 360;
+  for (int i = 0; i < kSessions; ++i) {
+    util::Rng rng = util::Rng(1912).fork(static_cast<unsigned>(i));
+    const std::size_t window = static_cast<std::size_t>(i) % 3;  // peak
+    const exp::UserEnvironment env =
+        population.sample_environment(window, rng);
+    const net::CapacityTrace trace = population.make_trace(env, rng);
+    const exp::SessionSpec spec =
+        exp::sample_session(library, workload, rng);
+    sim::PlayerConfig player;
+    player.watch_duration_s = spec.watch_duration_s;
+    player.give_up_stall_s = 25.0;  // patience below the 30-45 s outage range
+    auto algorithm = factory();
+    const sim::SessionMetrics m = sim::compute_metrics(sim::simulate_session(
+        library.at(spec.video_index), trace, *algorithm, player));
+    ++out.sessions;
+    if (m.abandoned) ++out.abandoned;
+    out.watched_hours += m.play_s / 3600.0;
+    out.intended_hours += spec.watch_duration_s / 3600.0;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation: sessions lost to stall-outs (25 s patience)",
+                "Fewer and shorter BBA stalls translate into fewer "
+                "abandoned sessions and more watched hours.");
+
+  struct Row {
+    const char* name;
+    std::function<std::unique_ptr<abr::RateAdaptation>()> make;
+    Outcome out;
+  };
+  std::vector<Row> rows = {
+      {"control", [] { return std::make_unique<abr::ControlAbr>(); }, {}},
+      {"rmin-always", [] { return std::make_unique<abr::RMinAlways>(); },
+       {}},
+      {"bba2", [] { return std::make_unique<core::Bba2>(); }, {}},
+      {"bba-others", [] { return std::make_unique<core::BbaOthers>(); }, {}},
+  };
+  util::Table table({"algorithm", "abandoned", "sessions",
+                     "watched/intended hours"});
+  for (auto& row : rows) {
+    row.out = run(row.make);
+    table.add_row({row.name, util::format("%d", row.out.abandoned),
+                   util::format("%d", row.out.sessions),
+                   util::format("%.1f / %.1f", row.out.watched_hours,
+                                row.out.intended_hours)});
+  }
+  table.print();
+
+  auto find = [&](const char* name) -> const Outcome& {
+    for (const auto& row : rows) {
+      if (std::string(name) == row.name) return row.out;
+    }
+    return rows[0].out;
+  };
+  bool ok = true;
+  ok &= exp::shape_check(find("control").abandoned > 0,
+                         "the stress mix produces stall-outs at all");
+  ok &= exp::shape_check(
+      find("bba2").abandoned <= find("control").abandoned + 2,
+      "BBA-2 loses no more sessions to stall-outs than Control");
+  ok &= exp::shape_check(
+      find("bba-others").abandoned <= find("control").abandoned + 2,
+      "BBA-Others loses no more sessions than Control");
+  ok &= exp::shape_check(
+      find("bba2").watched_hours >= find("control").watched_hours - 1.0,
+      "BBA-2 retains at least as many watched hours as Control");
+  return bench::verdict(ok);
+}

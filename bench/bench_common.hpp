@@ -1,0 +1,89 @@
+// Shared setup for the figure-reproduction benches: the paper's standard
+// experiment (Control / R_min-Always / BBA-x groups over three simulated
+// days) at a size that runs in seconds, plus small helpers.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <filesystem>
+
+#include "exp/abtest.hpp"
+#include "exp/dump.hpp"
+#include "exp/report.hpp"
+#include "media/video.hpp"
+
+namespace bba::bench {
+
+/// Standard experiment dimensions used by every figure bench.
+inline exp::AbTestConfig standard_config() {
+  exp::AbTestConfig cfg;
+  cfg.sessions_per_window = 120;
+  cfg.days = 3;
+  cfg.seed = 2013;
+  return cfg;
+}
+
+/// The shared title library (seeded identically across benches).
+inline const media::VideoLibrary& standard_library() {
+  static const media::VideoLibrary library = media::VideoLibrary::standard(11);
+  return library;
+}
+
+/// Runs the experiment with the requested subset of standard groups.
+/// Recognized names: control, rmin-always, bba0, bba1, bba2, bba-others.
+inline exp::AbTestResult run_standard_groups(
+    const std::vector<std::string>& names) {
+  std::vector<exp::Group> groups;
+  groups.reserve(names.size());
+  for (const auto& name : names) {
+    if (name == "control") {
+      groups.push_back({name, exp::make_control_factory()});
+    } else if (name == "rmin-always") {
+      groups.push_back({name, exp::make_rmin_factory()});
+    } else if (name == "bba0") {
+      groups.push_back({name, exp::make_bba0_factory()});
+    } else if (name == "bba1") {
+      groups.push_back({name, exp::make_bba1_factory()});
+    } else if (name == "bba2") {
+      groups.push_back({name, exp::make_bba2_factory()});
+    } else if (name == "bba-others") {
+      groups.push_back({name, exp::make_bba_others_factory()});
+    } else {
+      std::fprintf(stderr, "unknown group: %s\n", name.c_str());
+      std::abort();
+    }
+  }
+  return exp::run_ab_test(groups, standard_library(), standard_config());
+}
+
+/// Prints the bench banner.
+inline void banner(const char* figure, const char* claim) {
+  std::printf("=== %s ===\n%s\n\n", figure, claim);
+}
+
+/// Writes the figure's plot data (merged + per-day CSVs) under
+/// ./figure_data/. Failures are reported but non-fatal: the printed rows
+/// remain the primary output.
+inline void dump_figure(const exp::AbTestResult& result,
+                        const exp::MetricDef& metric,
+                        const char* figure_id) {
+  std::error_code ec;
+  std::filesystem::create_directories("figure_data", ec);
+  const std::string base = std::string("figure_data/") + figure_id;
+  const bool ok =
+      exp::dump_metric_csv(base + ".csv", result, metric) &&
+      exp::dump_metric_per_day_csv(base + "_per_day.csv", result, metric);
+  std::printf("%s\n", ok ? ("plot data: " + base + ".csv").c_str()
+                         : "plot data: write failed (non-fatal)");
+}
+
+/// Turns accumulated shape-check results into a process exit code.
+inline int verdict(bool all_ok) {
+  std::printf("\n%s\n", all_ok ? "All shape checks passed."
+                               : "SHAPE CHECK FAILURE(S) above.");
+  return all_ok ? 0 : 1;
+}
+
+}  // namespace bba::bench

@@ -1,0 +1,108 @@
+// Sec. 8 (related work discussion): competing players on one bottleneck.
+//
+// The paper argues that BBA avoids the classic multi-player pathologies:
+// "when competing with other video players, if the buffer is full, all
+// players have reached R_max, and so the algorithm is fair". This bench
+// runs N identical players per algorithm on a shared link and reports the
+// delivered rates, Jain's fairness index, and link utilization, for an
+// abundant link (everyone can reach R_max) and a constrained one.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "abr/baselines.hpp"
+#include "abr/control.hpp"
+#include "bench_common.hpp"
+#include "core/bba2.hpp"
+#include "media/video.hpp"
+#include "net/capacity_trace.hpp"
+#include "sim/metrics.hpp"
+#include "sim/shared_link.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace bba;
+
+struct Outcome {
+  double mean_rate_kbps = 0.0;
+  double jain = 0.0;
+  long long rebuffers = 0;
+};
+
+Outcome run_fleet(const std::string& algo, double capacity_bps,
+                  int players) {
+  const media::Video& video = bench::standard_library().at(0);
+  std::vector<std::unique_ptr<abr::RateAdaptation>> abrs;
+  std::vector<sim::SharedPlayerSpec> specs;
+  for (int i = 0; i < players; ++i) {
+    if (algo == "bba2") {
+      abrs.push_back(std::make_unique<core::Bba2>());
+    } else if (algo == "control") {
+      abrs.push_back(std::make_unique<abr::ControlAbr>());
+    } else {
+      abrs.push_back(std::make_unique<abr::RMinAlways>());
+    }
+    sim::SharedPlayerSpec spec;
+    spec.video = &video;
+    spec.abr = abrs.back().get();
+    spec.config.watch_duration_s = util::minutes(20);
+    // Staggered joins: half a chunk apart, as in real fleets.
+    spec.join_time_s = 2.0 * static_cast<double>(i);
+    specs.push_back(spec);
+  }
+  const auto results = sim::simulate_shared_link(
+      net::CapacityTrace::constant(capacity_bps), specs);
+  Outcome out;
+  std::vector<double> rates;
+  for (const auto& r : results) {
+    const sim::SessionMetrics m = sim::compute_metrics(r);
+    rates.push_back(m.avg_rate_bps);
+    out.mean_rate_kbps += util::to_kbps(m.avg_rate_bps) /
+                          static_cast<double>(players);
+    out.rebuffers += m.rebuffer_count;
+  }
+  out.jain = sim::jain_fairness_index(rates);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Shared bottleneck: N competing players",
+                "With full buffers all BBA players reach the same rate: "
+                "Jain index ~1; no rebuffering when per-player share "
+                "exceeds R_min.");
+
+  constexpr int kPlayers = 4;
+  util::Table table({"algorithm", "link", "mean rate (kb/s)", "Jain index",
+                     "rebuffers"});
+  Outcome cells[2][2];
+  const double links[2] = {util::mbps(30), util::mbps(6)};
+  const char* link_names[2] = {"30 Mb/s (abundant)", "6 Mb/s (constrained)"};
+  const char* algos[2] = {"bba2", "control"};
+  for (int a = 0; a < 2; ++a) {
+    for (int l = 0; l < 2; ++l) {
+      cells[a][l] = run_fleet(algos[a], links[l], kPlayers);
+      table.add_row({algos[a], link_names[l],
+                     util::format("%.0f", cells[a][l].mean_rate_kbps),
+                     util::format("%.3f", cells[a][l].jain),
+                     util::format("%lld", cells[a][l].rebuffers)});
+    }
+  }
+  table.print();
+
+  bool ok = true;
+  ok &= exp::shape_check(cells[0][0].jain > 0.98,
+                         "abundant link: BBA players are fair (Jain ~1)");
+  ok &= exp::shape_check(
+      cells[0][0].mean_rate_kbps > 4500.0,
+      "abundant link: every BBA player reaches ~R_max (5000 kb/s)");
+  ok &= exp::shape_check(cells[0][1].jain > 0.90,
+                         "constrained link: BBA stays fair");
+  ok &= exp::shape_check(cells[0][1].rebuffers == 0,
+                         "constrained link: per-player share (1.5 Mb/s) > "
+                         "R_min, so BBA never rebuffers");
+  return bench::verdict(ok);
+}

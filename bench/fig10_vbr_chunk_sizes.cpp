@@ -1,0 +1,65 @@
+// Fig. 10: 4-second chunk sizes of a VBR encode at a nominal 3 Mb/s.
+//
+// The paper's production encode ("Black Hawk Down") has an average chunk
+// size of 1.5 MB (4 s x 3 Mb/s) with a max-to-average ratio e ~= 2. This
+// bench prints the chunk-size series of our synthetic action-profile title
+// at the 3 Mb/s ladder rate and checks the same statistics.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "media/video.hpp"
+#include "stats/descriptive.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace bba;
+  bench::banner("Fig. 10: VBR chunk sizes at nominal 3 Mb/s",
+                "Average chunk ~1.5 MB; max-to-average ratio e ~= 2.");
+
+  const media::VideoLibrary& library = bench::standard_library();
+  // Find the bursty action title and the 3 Mb/s ladder index.
+  const media::Video* video = nullptr;
+  for (std::size_t i = 0; i < library.size(); ++i) {
+    if (library.at(i).name() == "action-0") video = &library.at(i);
+  }
+  if (video == nullptr) {
+    std::fprintf(stderr, "action title missing from library\n");
+    return 1;
+  }
+  const auto& ladder = video->ladder();
+  std::size_t rate3m = ladder.highest_not_above(util::mbps(3.0));
+
+  const auto& chunks = video->chunks();
+  util::Table table({"time(s)", "chunk size (MB)"});
+  for (std::size_t k = 0; k < 300; k += 10) {
+    table.add_row({util::format("%.0f", 4.0 * static_cast<double>(k)),
+                   util::format("%.2f", util::bits_to_megabytes(
+                                            chunks.size_bits(rate3m, k)))});
+  }
+  table.print();
+
+  const double mean_mb =
+      util::bits_to_megabytes(chunks.mean_size_bits(rate3m));
+  const double e = chunks.max_to_avg_ratio(rate3m);
+  std::printf("\nnominal rate: %.0f kb/s\n",
+              util::to_kbps(ladder.rate_bps(rate3m)));
+  std::printf("average chunk size: %.2f MB (paper: 1.5 MB)\n", mean_mb);
+  std::printf("max-to-average ratio e: %.2f (paper: ~2)\n", e);
+
+  bool ok = true;
+  ok &= exp::shape_check(ladder.rate_bps(rate3m) == util::mbps(3.0),
+                         "ladder contains the 3 Mb/s rate");
+  ok &= exp::shape_check(mean_mb > 1.35 && mean_mb < 1.65,
+                         "average chunk size ~1.5 MB");
+  ok &= exp::shape_check(e > 1.6 && e < 2.4, "max/avg ratio e ~= 2");
+  // The complexity profile is shared across the ladder: the same statistic
+  // must hold at every rate.
+  bool all_rates = true;
+  for (std::size_t r = 0; r < ladder.size(); ++r) {
+    const double er = chunks.max_to_avg_ratio(r);
+    if (er < 1.6 || er > 2.4) all_rates = false;
+  }
+  ok &= exp::shape_check(all_rates, "e ~= 2 holds at every ladder rate");
+  return bench::verdict(ok);
+}

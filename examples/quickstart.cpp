@@ -1,0 +1,65 @@
+// Quickstart: stream one synthetic VBR title over a variable network with
+// the BBA-2 algorithm and print the session timeline and quality metrics.
+//
+//   $ ./build/examples/quickstart
+//
+// This is the smallest end-to-end use of the library: build a video, build
+// a capacity trace, pick an algorithm, simulate, inspect the results.
+#include <cstdio>
+
+#include "core/bba2.hpp"
+#include "media/video.hpp"
+#include "net/trace_gen.hpp"
+#include "sim/metrics.hpp"
+#include "sim/player.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace bba;
+
+  // A 40-minute VBR title on the 2013-era Netflix ladder (235 kb/s-5 Mb/s).
+  util::Rng rng(7);
+  const media::Video video = media::make_vbr_video(
+      "quickstart-title", media::EncodingLadder::netflix_2013(),
+      /*num_chunks=*/600, /*chunk_duration_s=*/4.0, media::VbrConfig{}, rng);
+
+  // A variable network: median 3 Mb/s, heavy within-session variation.
+  net::MarkovTraceConfig net_cfg;
+  net_cfg.median_bps = util::mbps(3.0);
+  net_cfg.sigma_log = 0.8;
+  const net::CapacityTrace trace = net::make_markov_trace(net_cfg, rng);
+
+  // The BBA-2 algorithm with its paper defaults.
+  core::Bba2 abr;
+
+  // A 30-minute viewing session on the paper's 240 s-buffer player.
+  sim::PlayerConfig player;
+  player.watch_duration_s = util::minutes(30);
+  const sim::SessionResult session =
+      sim::simulate_session(video, trace, abr, player);
+
+  // Print a coarse timeline: one line every 30 downloaded chunks.
+  std::printf("time(s)  chunk  rate(kb/s)  buffer(s)  throughput(kb/s)\n");
+  for (std::size_t i = 0; i < session.chunks.size(); i += 30) {
+    const auto& c = session.chunks[i];
+    std::printf("%7.1f  %5zu  %10.0f  %9.1f  %16.0f\n", c.finish_s, c.index,
+                util::to_kbps(c.rate_bps), c.buffer_after_s,
+                util::to_kbps(c.throughput_bps));
+  }
+
+  const sim::SessionMetrics m = sim::compute_metrics(session);
+  std::printf("\nSession metrics\n");
+  std::printf("  played               %.1f min\n", m.play_s / 60.0);
+  std::printf("  join delay           %.2f s\n", m.join_s);
+  std::printf("  rebuffers            %lld (%.1f s total)\n",
+              m.rebuffer_count, m.rebuffer_s);
+  std::printf("  avg video rate       %.0f kb/s\n",
+              util::to_kbps(m.avg_rate_bps));
+  std::printf("  startup rate (<2min) %.0f kb/s\n",
+              util::to_kbps(m.startup_rate_bps));
+  std::printf("  steady rate (>2min)  %.0f kb/s\n",
+              util::to_kbps(m.steady_rate_bps));
+  std::printf("  switches             %lld (%.1f / playhour)\n",
+              m.switch_count, m.switches_per_hour);
+  return 0;
+}

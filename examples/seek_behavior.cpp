@@ -1,0 +1,73 @@
+// Seeks restart the startup phase (Sec. 6 footnote: the startup phase
+// begins "after starting a new video or seeking to a new point").
+//
+//   $ ./build/examples/seek_behavior
+//
+// A viewer watches five minutes, seeks to the 40-minute mark, and keeps
+// watching. The buffer is flushed at the seek, so the ABR faces a second
+// cold start: BBA-1 re-climbs the chunk map from R_min, while BBA-2's
+// Delta-B ramp recovers the rate within a few chunks -- the same contrast
+// as Fig. 16, twice per session.
+#include <cstdio>
+
+#include "core/bba1.hpp"
+#include "core/bba2.hpp"
+#include "media/video.hpp"
+#include "net/trace_gen.hpp"
+#include "sim/metrics.hpp"
+#include "sim/player.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace bba;
+
+  util::Rng rng(8);
+  const media::Video video = media::make_vbr_video(
+      "seek-title", media::EncodingLadder::netflix_2013(), 1500, 4.0,
+      media::VbrConfig{}, rng);
+  const net::CapacityTrace trace =
+      net::CapacityTrace::constant(util::mbps(4.0));
+
+  sim::PlayerConfig player;
+  player.watch_duration_s = util::minutes(12);
+  const std::vector<sim::Seek> seeks{{util::minutes(5), util::minutes(40)}};
+
+  core::Bba1 bba1;
+  core::Bba2 bba2;
+  const sim::SessionResult r1 =
+      sim::simulate_session_with_seeks(video, trace, bba1, seeks, player);
+  const sim::SessionResult r2 =
+      sim::simulate_session_with_seeks(video, trace, bba2, seeks, player);
+
+  // Delivered rate over the first 60 s after the seek, per algorithm.
+  auto post_seek_rate = [](const sim::SessionResult& r) {
+    const double seek_pos = util::minutes(5);
+    double weight = 0.0, rate = 0.0;
+    for (const auto& c : r.chunks) {
+      if (c.position_s >= seek_pos && c.position_s < seek_pos + 60.0) {
+        weight += 4.0;
+        rate += c.rate_bps * 4.0;
+      }
+    }
+    return weight > 0.0 ? rate / weight : 0.0;
+  };
+
+  util::Table table({"algorithm", "avg kb/s", "first min after seek kb/s",
+                     "rebuffers"});
+  const sim::SessionMetrics m1 = sim::compute_metrics(r1);
+  const sim::SessionMetrics m2 = sim::compute_metrics(r2);
+  table.add_row({"bba1", util::format("%.0f", util::to_kbps(m1.avg_rate_bps)),
+                 util::format("%.0f", util::to_kbps(post_seek_rate(r1))),
+                 util::format("%lld", m1.rebuffer_count)});
+  table.add_row({"bba2", util::format("%.0f", util::to_kbps(m2.avg_rate_bps)),
+                 util::format("%.0f", util::to_kbps(post_seek_rate(r2))),
+                 util::format("%lld", m2.rebuffer_count)});
+  table.print();
+
+  std::printf(
+      "\nThe seek flushes the buffer: both algorithms drop to R_min, but\n"
+      "BBA-2's startup ramp (download-speed hints) recovers the rate far\n"
+      "faster than BBA-1's buffer-driven chunk map.\n");
+  return 0;
+}

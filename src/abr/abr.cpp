@@ -1,0 +1,5 @@
+#include "abr/abr.hpp"
+
+// The interface is header-only; this translation unit anchors the vtable.
+
+namespace bba::abr {}  // namespace bba::abr

@@ -1,0 +1,47 @@
+// BOLA: a later buffer-based algorithm, included as a forward-looking
+// comparison point.
+//
+// Spiteri, Urgaonkar, Sitaraman, "BOLA: Near-Optimal Bitrate Adaptation
+// for Online Videos" (INFOCOM 2016) formalized the buffer-based idea this
+// paper pioneered as Lyapunov drift-plus-penalty optimization: each chunk,
+// pick the rendition m maximizing
+//
+//     (V * (utility_m + gamma*p) - Q) / S_m
+//
+// where Q is the buffer in chunks, S_m the chunk size, utility_m =
+// ln(S_m / S_min), and V, gamma*p are derived from the buffer target. The
+// result is again a monotone buffer-to-rate map -- independent support for
+// the paper's thesis. This is BOLA-BASIC on nominal chunk sizes.
+#pragma once
+
+#include "abr/abr.hpp"
+
+namespace bba::abr {
+
+/// BOLA-BASIC tuning.
+struct BolaConfig {
+  /// Buffer level (seconds) at which the top rendition becomes optimal.
+  /// Together with `min_threshold_s` this determines V and gamma*p.
+  double max_threshold_s = 216.0;
+
+  /// Buffer level at which the lowest rendition is chosen.
+  double min_threshold_s = 12.0;
+};
+
+class BolaAbr final : public RateAdaptation {
+ public:
+  explicit BolaAbr(BolaConfig cfg = {});
+
+  std::size_t choose_rate(const Observation& obs) override;
+  std::string name() const override { return "bola"; }
+
+  /// The drift-plus-penalty objective for rendition `m` at buffer level
+  /// `buffer_s` (exposed for tests): higher is better; negative for every
+  /// m means "do not download yet" and maps to holding at R_min here.
+  double objective(const Observation& obs, std::size_t m) const;
+
+ private:
+  BolaConfig cfg_;
+};
+
+}  // namespace bba::abr

@@ -1,0 +1,86 @@
+#include "abr/related_work.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace bba::abr {
+
+PidAbr::PidAbr(PidConfig cfg)
+    : cfg_(cfg), estimator_(cfg.estimator_window) {
+  BBA_ASSERT(cfg_.target_buffer_s > 0.0, "buffer set-point must be > 0");
+  BBA_ASSERT(cfg_.adjustment_min > 0.0 &&
+                 cfg_.adjustment_max > cfg_.adjustment_min,
+             "adjustment clamp invalid");
+}
+
+void PidAbr::reset() {
+  estimator_.reset();
+  integral_s_ = 0.0;
+  adjustment_ = 1.0;
+}
+
+std::size_t PidAbr::choose_rate(const Observation& obs) {
+  BBA_ASSERT(obs.video != nullptr, "observation must carry the video");
+  const auto& ladder = obs.video->ladder();
+  if (obs.last_throughput_bps > 0.0) {
+    estimator_.add_sample(obs.last_throughput_bps, obs.last_download_s);
+  }
+  if (!estimator_.has_estimate()) {
+    return std::min(cfg_.start_index, ladder.max_index());
+  }
+  // PI on the buffer error: above the set-point we may exceed the
+  // estimate (draining toward the set-point), below it we undershoot to
+  // refill. The integral term removes steady-state error.
+  const double error_s = obs.buffer_s - cfg_.target_buffer_s;
+  integral_s_ += error_s;
+  // Anti-windup: bound the integral so it cannot dominate forever.
+  integral_s_ = std::clamp(integral_s_, -3000.0, 3000.0);
+  adjustment_ = std::clamp(
+      1.0 + cfg_.kp * error_s + cfg_.ki * integral_s_,
+      cfg_.adjustment_min, cfg_.adjustment_max);
+  const double target_bps = adjustment_ * estimator_.estimate_bps();
+
+  // "Smooth" quantization: step at most one level per chunk.
+  const std::size_t prev = obs.chunk_index == 0
+                               ? std::min(cfg_.start_index, ladder.max_index())
+                               : std::min(obs.prev_rate_index,
+                                          ladder.max_index());
+  const std::size_t unconstrained = ladder.highest_not_above(target_bps);
+  if (unconstrained > prev) return ladder.up(prev);
+  if (unconstrained < prev) return ladder.down(prev);
+  return prev;
+}
+
+ElasticAbr::ElasticAbr(ElasticConfig cfg)
+    : cfg_(cfg), estimator_(cfg.estimator_window) {
+  BBA_ASSERT(cfg_.target_buffer_s > 0.0, "buffer set-point must be > 0");
+  BBA_ASSERT(cfg_.k1 > 0.0 && cfg_.k2 >= 0.0, "controller gains invalid");
+}
+
+void ElasticAbr::reset() {
+  estimator_.reset();
+  integral_s_ = 0.0;
+}
+
+std::size_t ElasticAbr::choose_rate(const Observation& obs) {
+  BBA_ASSERT(obs.video != nullptr, "observation must carry the video");
+  const auto& ladder = obs.video->ladder();
+  if (obs.last_throughput_bps > 0.0) {
+    estimator_.add_sample(obs.last_throughput_bps, obs.last_download_s);
+  }
+  if (!estimator_.has_estimate()) {
+    return std::min(cfg_.start_index, ladder.max_index());
+  }
+  // Feedback linearization: pick r so that the closed-loop buffer obeys
+  // q' = -k1 e - k2 \int e, giving r = C / (1 + k1 e + k2 ie). With the
+  // buffer above the set-point the denominator shrinks -> higher rate.
+  const double error_s = obs.buffer_s - cfg_.target_buffer_s;
+  integral_s_ = std::clamp(integral_s_ + error_s, -2000.0, 2000.0);
+  const double denom =
+      std::max(0.4, 1.0 - cfg_.k1 * error_s - cfg_.k2 * integral_s_);
+  const double target_bps = estimator_.estimate_bps() / denom;
+  return ladder.highest_not_above(target_bps);
+}
+
+}  // namespace bba::abr

@@ -1,0 +1,77 @@
+// Baselines from the paper's related work (Sec. 8): ABR designs that use
+// the buffer to ADJUST a capacity estimate, rather than to directly pick
+// the rate. Both follow the Fig. 3 template the paper contrasts against.
+//
+//  * PidAbr   -- in the spirit of Tian & Liu, "Towards Agile and Smooth
+//                Video Adaptation in Dynamic HTTP Streaming" (CoNEXT'12):
+//                a PI controller on the buffer error scales a smoothed
+//                throughput estimate.
+//  * ElasticAbr -- in the spirit of De Cicco et al., "ELASTIC: a
+//                Client-side Controller for Dynamic Adaptive Streaming
+//                over HTTP" (PV'13): harmonic-mean estimation plus
+//                feedback linearization that drives the buffer to a
+//                set-point.
+//
+// These are reimplementations from the published descriptions, simplified
+// to the chunk-level interface; they serve as additional comparison points
+// for the experiment harness, not as reference implementations.
+#pragma once
+
+#include "abr/abr.hpp"
+#include "net/estimators.hpp"
+
+namespace bba::abr {
+
+/// PI-controlled buffer-error adjustment over a harmonic-mean estimate.
+struct PidConfig {
+  double target_buffer_s = 60.0;  ///< buffer set-point
+  double kp = 0.006;              ///< proportional gain (per second of error)
+  double ki = 0.0002;             ///< integral gain
+  double adjustment_min = 0.2;    ///< clamp on the multiplicative adjustment
+  double adjustment_max = 1.6;
+  std::size_t estimator_window = 5;
+  std::size_t start_index = 1;
+};
+
+class PidAbr final : public RateAdaptation {
+ public:
+  explicit PidAbr(PidConfig cfg = {});
+
+  std::size_t choose_rate(const Observation& obs) override;
+  void reset() override;
+  std::string name() const override { return "pid"; }
+
+  /// Current multiplicative adjustment (exposed for tests).
+  double adjustment() const { return adjustment_; }
+
+ private:
+  PidConfig cfg_;
+  net::HarmonicMeanEstimator estimator_;
+  double integral_s_ = 0.0;
+  double adjustment_ = 1.0;
+};
+
+/// Feedback-linearization controller driving the buffer to a set-point.
+struct ElasticConfig {
+  double target_buffer_s = 40.0;
+  double k1 = 0.01;   ///< proportional term of the linearized controller
+  double k2 = 0.001;  ///< integral term
+  std::size_t estimator_window = 5;
+  std::size_t start_index = 1;
+};
+
+class ElasticAbr final : public RateAdaptation {
+ public:
+  explicit ElasticAbr(ElasticConfig cfg = {});
+
+  std::size_t choose_rate(const Observation& obs) override;
+  void reset() override;
+  std::string name() const override { return "elastic"; }
+
+ private:
+  ElasticConfig cfg_;
+  net::HarmonicMeanEstimator estimator_;
+  double integral_s_ = 0.0;
+};
+
+}  // namespace bba::abr

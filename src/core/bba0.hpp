@@ -1,0 +1,42 @@
+// BBA-0: the baseline buffer-based algorithm (Sec. 4).
+//
+// Rate map: piecewise linear with a fixed 90 s reservoir and 126 s cushion.
+// Discretization: Algorithm 1 verbatim -- stay at the current discrete rate
+// while f(B) remains strictly between the neighbouring rates; switch only
+// when a "barrier" is crossed. The buffer distance between adjacent rates
+// acts as a natural hysteresis cushion.
+#pragma once
+
+#include "abr/abr.hpp"
+#include "core/rate_map.hpp"
+
+namespace bba::core {
+
+/// Configuration of BBA-0. The defaults are the paper's deployment values
+/// for the 240 s browser-player buffer.
+struct Bba0Config {
+  double reservoir_s = 90.0;
+  double cushion_s = 126.0;
+  /// Rate index used as "previous" for the very first chunk.
+  std::size_t start_index = 0;
+};
+
+/// The BBA-0 algorithm: Algorithm 1 over the Fig. 6 rate map.
+class Bba0 final : public abr::RateAdaptation {
+ public:
+  explicit Bba0(Bba0Config cfg = {});
+
+  std::size_t choose_rate(const abr::Observation& obs) override;
+  std::string name() const override { return "bba0"; }
+
+  /// Algorithm 1 as a pure function, reusable by tests: picks the next
+  /// ladder index given the previous one, the buffer level, and the map.
+  static std::size_t algorithm1(const RateMap& map,
+                                const media::EncodingLadder& ladder,
+                                std::size_t prev_index, double buffer_s);
+
+ private:
+  Bba0Config cfg_;
+};
+
+}  // namespace bba::core

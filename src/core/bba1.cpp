@@ -1,0 +1,127 @@
+#include "core/bba1.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace bba::core {
+
+Bba1::Bba1(Bba1Config cfg) : cfg_(cfg) {
+  BBA_ASSERT(cfg_.upper_knee_fraction > 0.0 && cfg_.upper_knee_fraction <= 1.0,
+             "upper knee fraction must be in (0, 1]");
+  BBA_ASSERT(cfg_.min_cushion_s > 0.0, "min cushion must be > 0");
+}
+
+void Bba1::reset() {
+  effective_reservoir_s_ = cfg_.reservoir.min_s;
+  outage_s_ = 0.0;
+  prev_buffer_s_ = 0.0;
+  has_prev_buffer_ = false;
+  outage_accrual_enabled_ = true;
+}
+
+std::size_t Bba1::prev_index(const abr::Observation& obs) const {
+  const auto max_index = obs.video->ladder().max_index();
+  if (obs.chunk_index == 0) return std::min(cfg_.start_index, max_index);
+  return std::min(obs.prev_rate_index, max_index);
+}
+
+void Bba1::update_state(const abr::Observation& obs) {
+  BBA_ASSERT(obs.video != nullptr, "observation must carry the video");
+  const auto& ladder = obs.video->ladder();
+
+  // Sec. 7.1: accrue outage protection per downloaded chunk while the
+  // buffer is rising and not yet 75% full.
+  if (cfg_.outage_protection && outage_accrual_enabled_ && has_prev_buffer_ &&
+      obs.buffer_s > prev_buffer_s_ &&
+      obs.buffer_s < cfg_.outage_accrue_below_fraction * obs.buffer_max_s) {
+    outage_s_ = std::min(outage_s_ + cfg_.outage_accrual_s, cfg_.outage_cap_s);
+  }
+  prev_buffer_s_ = obs.buffer_s;
+  has_prev_buffer_ = true;
+
+  const double dynamic = compute_reservoir_s(
+      obs.video->chunks(), ladder.min_index(), ladder.rmin_bps(),
+      obs.chunk_index, cfg_.reservoir);
+  const double knee = cfg_.upper_knee_fraction * obs.buffer_max_s;
+  double effective =
+      std::min(dynamic + outage_s_, knee - cfg_.min_cushion_s);
+  if (cfg_.monotone_reservoir) {
+    effective = std::max(effective, effective_reservoir_s_);
+  }
+  effective_reservoir_s_ = effective;
+}
+
+ChunkMap Bba1::current_map(const abr::Observation& obs) const {
+  const auto& video = *obs.video;
+  const auto& ladder = video.ladder();
+  const double knee = cfg_.upper_knee_fraction * obs.buffer_max_s;
+  return ChunkMap(effective_reservoir_s_, knee,
+                  video.chunks().mean_size_bits(ladder.min_index()),
+                  video.chunks().mean_size_bits(ladder.max_index()));
+}
+
+std::size_t Bba1::map_suggestion(const abr::Observation& obs) const {
+  const auto& video = *obs.video;
+  const auto& ladder = video.ladder();
+  const ChunkMap map = current_map(obs);
+  if (obs.buffer_s <= map.reservoir_s()) return ladder.min_index();
+  if (obs.buffer_s >= map.upper_knee_s()) return ladder.max_index();
+  const double bits = map.max_chunk_bits(obs.buffer_s);
+  const std::size_t k = obs.chunk_index;
+  std::size_t best = ladder.min_index();
+  for (std::size_t i = 0; i < ladder.size(); ++i) {
+    if (video.chunks().size_bits(i, k) <= bits) best = i;
+  }
+  return best;
+}
+
+std::size_t Bba1::filter_up_switch(const abr::Observation& /*obs*/,
+                                   std::size_t candidate,
+                                   std::size_t /*prev*/,
+                                   double /*map_bits*/) {
+  return candidate;
+}
+
+std::size_t Bba1::steady_choice(const abr::Observation& obs) {
+  const auto& video = *obs.video;
+  const auto& ladder = video.ladder();
+  const ChunkMap map = current_map(obs);
+  const std::size_t prev = prev_index(obs);
+  const std::size_t k = obs.chunk_index;
+
+  if (obs.buffer_s <= map.reservoir_s()) return ladder.min_index();
+  if (obs.buffer_s >= map.upper_knee_s()) return ladder.max_index();
+
+  const double bits = map.max_chunk_bits(obs.buffer_s);
+  const std::size_t rate_plus = ladder.up(prev);
+  const std::size_t rate_minus = ladder.down(prev);
+
+  // Up barrier: the map's allowable size passes the size of the next
+  // upcoming chunk at the next-highest rate.
+  if (rate_plus != prev && bits >= video.chunks().size_bits(rate_plus, k)) {
+    std::size_t candidate = prev;
+    for (std::size_t i = 0; i < ladder.size(); ++i) {
+      if (video.chunks().size_bits(i, k) < bits) candidate = i;
+    }
+    candidate = std::max(candidate, prev);
+    return filter_up_switch(obs, candidate, prev, bits);
+  }
+  // Down barrier: the allowable size falls below the next chunk at the
+  // next-lowest rate.
+  if (rate_minus != prev && bits <= video.chunks().size_bits(rate_minus, k)) {
+    std::size_t candidate = ladder.min_index();
+    for (std::size_t i = ladder.size(); i-- > 0;) {
+      if (video.chunks().size_bits(i, k) > bits) candidate = i;
+    }
+    return std::min(candidate, prev);
+  }
+  return prev;
+}
+
+std::size_t Bba1::choose_rate(const abr::Observation& obs) {
+  update_state(obs);
+  return steady_choice(obs);
+}
+
+}  // namespace bba::core

@@ -1,0 +1,66 @@
+#include "core/bba2.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace bba::core {
+
+Bba2::Bba2(Bba2Config cfg) : Bba1(cfg.base), cfg2_(cfg) {
+  BBA_ASSERT(cfg2_.threshold_at_empty > cfg2_.threshold_at_knee &&
+                 cfg2_.threshold_at_knee > 0.0,
+             "startup thresholds must decay from empty to knee");
+}
+
+void Bba2::reset() {
+  Bba1::reset();
+  in_startup_ = true;
+  startup_prev_buffer_s_ = 0.0;
+  // Sec. 7.1: BBA-2 only accrues outage protection after startup exits.
+  outage_accrual_enabled_ = false;
+}
+
+double Bba2::startup_threshold_s(double buffer_s, double buffer_max_s,
+                                 double chunk_duration_s) const {
+  const double knee = cfg_.upper_knee_fraction * buffer_max_s;
+  const double frac = std::clamp(buffer_s / knee, 0.0, 1.0);
+  const double threshold =
+      cfg2_.threshold_at_empty +
+      (cfg2_.threshold_at_knee - cfg2_.threshold_at_empty) * frac;
+  return threshold * chunk_duration_s;
+}
+
+std::size_t Bba2::choose_rate(const abr::Observation& obs) {
+  BBA_ASSERT(obs.video != nullptr, "observation must carry the video");
+  outage_accrual_enabled_ = !in_startup_;
+  update_state(obs);
+
+  const auto& ladder = obs.video->ladder();
+  const std::size_t prev = prev_index(obs);
+
+  if (in_startup_ && obs.chunk_index > 0) {
+    // Exit conditions (Sec. 6): the buffer is decreasing, or the chunk map
+    // suggests a higher rate than we are already using.
+    const bool buffer_decreasing = obs.buffer_s < startup_prev_buffer_s_;
+    const bool map_ahead = map_suggestion(obs) > prev;
+    if (buffer_decreasing || map_ahead) in_startup_ = false;
+  }
+  startup_prev_buffer_s_ = obs.buffer_s;
+
+  if (!in_startup_) {
+    return steady_choice(obs);
+  }
+
+  if (obs.chunk_index == 0) {
+    return prev;  // first request: nothing is known yet
+  }
+  // Step up one rate if the last chunk filled the buffer fast enough.
+  const double threshold = startup_threshold_s(
+      obs.buffer_s, obs.buffer_max_s, obs.video->chunk_duration_s());
+  if (obs.delta_buffer_s > threshold) {
+    return ladder.up(prev);
+  }
+  return prev;
+}
+
+}  // namespace bba::core

@@ -1,0 +1,27 @@
+#include "core/chunk_map.hpp"
+
+#include "util/assert.hpp"
+
+namespace bba::core {
+
+ChunkMap::ChunkMap(double reservoir_s, double upper_knee_s,
+                   double chunk_min_bits, double chunk_max_bits)
+    : reservoir_s_(reservoir_s),
+      upper_knee_s_(upper_knee_s),
+      chunk_min_bits_(chunk_min_bits),
+      chunk_max_bits_(chunk_max_bits) {
+  BBA_ASSERT(reservoir_s_ >= 0.0, "reservoir must be >= 0");
+  BBA_ASSERT(upper_knee_s_ > reservoir_s_,
+             "upper knee must exceed the reservoir");
+  BBA_ASSERT(chunk_min_bits_ > 0.0 && chunk_max_bits_ > chunk_min_bits_,
+             "require 0 < chunk_min < chunk_max");
+}
+
+double ChunkMap::max_chunk_bits(double buffer_s) const {
+  if (buffer_s <= reservoir_s_) return chunk_min_bits_;
+  if (buffer_s >= upper_knee_s_) return chunk_max_bits_;
+  const double frac = (buffer_s - reservoir_s_) / cushion_s();
+  return chunk_min_bits_ + frac * (chunk_max_bits_ - chunk_min_bits_);
+}
+
+}  // namespace bba::core

@@ -1,0 +1,38 @@
+// Chunk maps (Sec. 5.2, Fig. 13).
+//
+// Under VBR the buffer dynamics depend on the byte size of the upcoming
+// chunk, not the nominal rate, so the design space generalizes from the
+// buffer-rate plane to the buffer-chunk plane: a chunk map gives the
+// maximally allowable chunk size for the current buffer occupancy, between
+// Chunk_min (average chunk size at R_min) and Chunk_max (average at R_max).
+#pragma once
+
+namespace bba::core {
+
+/// Piecewise-linear chunk map: Chunk_min up to the reservoir, linear ramp
+/// across the cushion, Chunk_max beyond it.
+class ChunkMap {
+ public:
+  /// `upper_knee_s` is the buffer level where the map first allows
+  /// Chunk_max (90% of the buffer in the paper's deployment).
+  /// Requires 0 <= reservoir < upper_knee and 0 < chunk_min < chunk_max.
+  ChunkMap(double reservoir_s, double upper_knee_s, double chunk_min_bits,
+           double chunk_max_bits);
+
+  /// Maximally allowable chunk size at buffer level `buffer_s`.
+  double max_chunk_bits(double buffer_s) const;
+
+  double reservoir_s() const { return reservoir_s_; }
+  double upper_knee_s() const { return upper_knee_s_; }
+  double cushion_s() const { return upper_knee_s_ - reservoir_s_; }
+  double chunk_min_bits() const { return chunk_min_bits_; }
+  double chunk_max_bits() const { return chunk_max_bits_; }
+
+ private:
+  double reservoir_s_;
+  double upper_knee_s_;
+  double chunk_min_bits_;
+  double chunk_max_bits_;
+};
+
+}  // namespace bba::core

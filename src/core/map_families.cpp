@@ -1,0 +1,113 @@
+#include "core/map_families.hpp"
+
+#include <cmath>
+
+#include "core/bba0.hpp"
+#include "util/assert.hpp"
+#include "util/table.hpp"
+
+namespace bba::core {
+
+const char* map_shape_name(MapShape shape) {
+  switch (shape) {
+    case MapShape::kLinear:
+      return "linear";
+    case MapShape::kQuadratic:
+      return "quadratic";
+    case MapShape::kLogarithmic:
+      return "logarithmic";
+  }
+  return "unknown";
+}
+
+ShapedRateMap::ShapedRateMap(MapShape shape, double reservoir_s,
+                             double cushion_s, double rmin_bps,
+                             double rmax_bps)
+    : shape_(shape),
+      reservoir_s_(reservoir_s),
+      cushion_s_(cushion_s),
+      rmin_bps_(rmin_bps),
+      rmax_bps_(rmax_bps) {
+  BBA_ASSERT(reservoir_s_ >= 0.0, "reservoir must be >= 0");
+  BBA_ASSERT(cushion_s_ > 0.0, "cushion must be > 0");
+  BBA_ASSERT(rmin_bps_ > 0.0 && rmax_bps_ > rmin_bps_,
+             "rates must satisfy 0 < rmin < rmax");
+}
+
+double ShapedRateMap::rate_at_bps(double buffer_s) const {
+  if (buffer_s <= reservoir_s_) return rmin_bps_;
+  if (buffer_s >= reservoir_s_ + cushion_s_) return rmax_bps_;
+  const double x = (buffer_s - reservoir_s_) / cushion_s_;  // in (0, 1)
+  double frac = x;
+  switch (shape_) {
+    case MapShape::kLinear:
+      frac = x;
+      break;
+    case MapShape::kQuadratic:
+      frac = x * x;
+      break;
+    case MapShape::kLogarithmic:
+      // log1p ramp normalized to [0, 1]: steep at the start.
+      frac = std::log1p(9.0 * x) / std::log1p(9.0);
+      break;
+  }
+  return rmin_bps_ + frac * (rmax_bps_ - rmin_bps_);
+}
+
+bool ShapedRateMap::satisfies_design_criteria(double grid_step_s,
+                                              double continuity_tol) const {
+  BBA_ASSERT(grid_step_s > 0.0, "grid step must be > 0");
+  if (rate_at_bps(0.0) != rmin_bps_) return false;
+  if (rate_at_bps(upper_reservoir_start_s()) != rmax_bps_) return false;
+  const double span = rmax_bps_ - rmin_bps_;
+  double prev = rate_at_bps(0.0);
+  for (double b = grid_step_s; b <= upper_reservoir_start_s() + 1.0;
+       b += grid_step_s) {
+    const double f = rate_at_bps(b);
+    if (f < prev) return false;  // monotone
+    if (f - prev > continuity_tol * span) return false;  // continuity
+    // Strictly increasing across the interior of the cushion.
+    const bool interior = b > reservoir_s_ + grid_step_s &&
+                          b < upper_reservoir_start_s() - grid_step_s;
+    if (interior && f <= prev) return false;
+    prev = f;
+  }
+  return true;
+}
+
+ShapedBba::ShapedBba(MapShape shape, double reservoir_s, double cushion_s)
+    : shape_(shape), reservoir_s_(reservoir_s), cushion_s_(cushion_s) {
+  BBA_ASSERT(reservoir_s_ >= 0.0 && cushion_s_ > 0.0,
+             "invalid map geometry");
+}
+
+std::string ShapedBba::name() const {
+  return util::format("shaped-bba(%s)", map_shape_name(shape_));
+}
+
+std::size_t ShapedBba::choose_rate(const abr::Observation& obs) {
+  BBA_ASSERT(obs.video != nullptr, "observation must carry the video");
+  const auto& ladder = obs.video->ladder();
+  const ShapedRateMap shaped(shape_, reservoir_s_, cushion_s_,
+                             ladder.rmin_bps(), ladder.rmax_bps());
+  // Reuse Algorithm 1 by inverting the shape: find the buffer level at
+  // which the LINEAR map takes the shaped map's value, then dispatch.
+  // Equivalent and simpler: run Algorithm 1's barrier logic directly on
+  // the shaped value.
+  const std::size_t prev = obs.chunk_index == 0
+                               ? ladder.min_index()
+                               : std::min(obs.prev_rate_index,
+                                          ladder.max_index());
+  if (obs.buffer_s <= shaped.reservoir_s()) return ladder.min_index();
+  if (obs.buffer_s >= shaped.upper_reservoir_start_s()) {
+    return ladder.max_index();
+  }
+  const double f = shaped.rate_at_bps(obs.buffer_s);
+  const std::size_t rate_plus = ladder.up(prev);
+  const std::size_t rate_minus = ladder.down(prev);
+  if (f >= ladder.rate_bps(rate_plus)) return ladder.highest_below(f);
+  if (f <= ladder.rate_bps(rate_minus)) return ladder.lowest_above(f);
+  return prev;
+}
+
+}  // namespace bba::core

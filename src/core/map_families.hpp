@@ -1,0 +1,82 @@
+// Families of Sec.-3-compliant rate maps.
+//
+// The paper proves that ANY rate map that is continuous, strictly
+// increasing between R_min and R_max, and pinned at both ends avoids
+// unnecessary rebuffering and maximizes the average rate -- the linear
+// ramp of BBA-0 is just the simplest choice. This header makes the design
+// space first-class: shaped maps (linear / quadratic / logarithmic), a
+// checker for the theorem's preconditions, and an ABR that runs
+// Algorithm 1 over any shaped map.
+#pragma once
+
+#include <string>
+
+#include "abr/abr.hpp"
+#include "core/rate_map.hpp"
+
+namespace bba::core {
+
+/// How the map climbs across the cushion.
+enum class MapShape {
+  kLinear,       ///< BBA-0's ramp: even spacing in rate
+  kQuadratic,    ///< conservative low in the cushion, steep near the top
+  kLogarithmic,  ///< aggressive just above the reservoir, flat near the top
+};
+
+const char* map_shape_name(MapShape shape);
+
+/// A reservoir/cushion map with a configurable ramp shape. Pinned at
+/// (reservoir, R_min) and (reservoir + cushion, R_max) by construction.
+class ShapedRateMap {
+ public:
+  /// Requires reservoir >= 0, cushion > 0, 0 < rmin < rmax.
+  ShapedRateMap(MapShape shape, double reservoir_s, double cushion_s,
+                double rmin_bps, double rmax_bps);
+
+  /// f(B).
+  double rate_at_bps(double buffer_s) const;
+
+  MapShape shape() const { return shape_; }
+  double reservoir_s() const { return reservoir_s_; }
+  double cushion_s() const { return cushion_s_; }
+  double upper_reservoir_start_s() const {
+    return reservoir_s_ + cushion_s_;
+  }
+  double rmin_bps() const { return rmin_bps_; }
+  double rmax_bps() const { return rmax_bps_; }
+
+  /// Verifies the Sec. 3.1 criteria on a dense grid: pinned ends,
+  /// monotone non-decreasing everywhere, strictly increasing across the
+  /// cushion, and no jump larger than `continuity_tol` of the rate span
+  /// between neighbouring grid points.
+  bool satisfies_design_criteria(double grid_step_s = 0.1,
+                                 double continuity_tol = 0.02) const;
+
+ private:
+  MapShape shape_;
+  double reservoir_s_;
+  double cushion_s_;
+  double rmin_bps_;
+  double rmax_bps_;
+};
+
+/// Algorithm 1 over a shaped map: the generalization the paper's theorem
+/// licenses. With MapShape::kLinear and the BBA-0 geometry this is
+/// exactly BBA-0.
+class ShapedBba final : public abr::RateAdaptation {
+ public:
+  /// `reservoir_s`/`cushion_s` as in Bba0Config; rates come from the
+  /// session's ladder at decision time.
+  ShapedBba(MapShape shape, double reservoir_s = 90.0,
+            double cushion_s = 126.0);
+
+  std::size_t choose_rate(const abr::Observation& obs) override;
+  std::string name() const override;
+
+ private:
+  MapShape shape_;
+  double reservoir_s_;
+  double cushion_s_;
+};
+
+}  // namespace bba::core

@@ -1,0 +1,164 @@
+#include "exp/abtest.hpp"
+
+#include "abr/baselines.hpp"
+#include "abr/control.hpp"
+#include "core/bba0.hpp"
+#include "core/bba1.hpp"
+#include "core/bba2.hpp"
+#include "core/bba_others.hpp"
+#include "sim/metrics.hpp"
+#include "util/assert.hpp"
+
+namespace bba::exp {
+
+namespace {
+
+/// Accumulates one session into a window cell; rate averages are
+/// play-time weighted.
+void accumulate(WindowMetrics& cell, const sim::SessionMetrics& m) {
+  const double hours = m.play_s / 3600.0;
+  const double prev_hours = cell.play_hours;
+  cell.play_hours += hours;
+  cell.rebuffer_count += static_cast<double>(m.rebuffer_count);
+  cell.rebuffer_s += m.rebuffer_s;
+  cell.switch_count += static_cast<double>(m.switch_count);
+  cell.sessions += 1;
+  if (cell.play_hours > 0.0) {
+    const double w_new = hours / cell.play_hours;
+    cell.avg_rate_bps += (m.avg_rate_bps - cell.avg_rate_bps) * w_new;
+    // Startup/steady use the same play-hours weighting for simplicity; the
+    // startup window is a fixed 120 s per session, so the bias is tiny.
+    cell.startup_rate_bps +=
+        (m.startup_rate_bps - cell.startup_rate_bps) * w_new;
+    if (m.has_steady) {
+      cell.steady_rate_bps +=
+          (m.steady_rate_bps - cell.steady_rate_bps) * w_new;
+    } else if (prev_hours == 0.0) {
+      cell.steady_rate_bps = m.avg_rate_bps;
+    }
+  }
+}
+
+}  // namespace
+
+std::size_t AbTestResult::group_index(const std::string& name) const {
+  for (std::size_t i = 0; i < group_names.size(); ++i) {
+    if (group_names[i] == name) return i;
+  }
+  BBA_ASSERT(false, "unknown group name");
+  return 0;
+}
+
+WindowMetrics AbTestResult::merged(std::size_t group,
+                                   std::size_t window) const {
+  BBA_ASSERT(group < cells.size(), "group out of range");
+  WindowMetrics out;
+  for (const auto& day : cells[group]) {
+    BBA_ASSERT(window < day.size(), "window out of range");
+    const WindowMetrics& c = day[window];
+    const double total = out.play_hours + c.play_hours;
+    if (total > 0.0) {
+      const double w_new = c.play_hours / total;
+      out.avg_rate_bps += (c.avg_rate_bps - out.avg_rate_bps) * w_new;
+      out.startup_rate_bps +=
+          (c.startup_rate_bps - out.startup_rate_bps) * w_new;
+      out.steady_rate_bps +=
+          (c.steady_rate_bps - out.steady_rate_bps) * w_new;
+    }
+    out.play_hours = total;
+    out.rebuffer_count += c.rebuffer_count;
+    out.rebuffer_s += c.rebuffer_s;
+    out.switch_count += c.switch_count;
+    out.sessions += c.sessions;
+  }
+  return out;
+}
+
+std::vector<double> AbTestResult::per_day(
+    std::size_t group, std::size_t window,
+    const std::function<double(const WindowMetrics&)>& metric) const {
+  BBA_ASSERT(group < cells.size(), "group out of range");
+  std::vector<double> values;
+  values.reserve(cells[group].size());
+  for (const auto& day : cells[group]) {
+    BBA_ASSERT(window < day.size(), "window out of range");
+    values.push_back(metric(day[window]));
+  }
+  return values;
+}
+
+AbTestResult run_ab_test(const std::vector<Group>& groups,
+                         const media::VideoLibrary& library,
+                         const AbTestConfig& cfg) {
+  BBA_ASSERT(!groups.empty(), "at least one group required");
+  BBA_ASSERT(cfg.days >= 1 && cfg.sessions_per_window >= 1,
+             "experiment dimensions must be >= 1");
+
+  const Population population(cfg.population);
+  util::Rng master(cfg.seed);
+
+  AbTestResult result;
+  result.group_names.reserve(groups.size());
+  for (const auto& g : groups) result.group_names.push_back(g.name);
+  result.cells.assign(
+      groups.size(),
+      std::vector<std::vector<WindowMetrics>>(
+          cfg.days, std::vector<WindowMetrics>(kWindowsPerDay)));
+
+  for (std::size_t day = 0; day < cfg.days; ++day) {
+    for (std::size_t window = 0; window < kWindowsPerDay; ++window) {
+      for (std::size_t user = 0; user < cfg.sessions_per_window; ++user) {
+        // Common random numbers: the environment stream is a pure function
+        // of (seed, day, window, user) and shared by all groups.
+        const std::uint64_t stream =
+            (day * kWindowsPerDay + window) * cfg.sessions_per_window + user;
+        util::Rng env_rng = master.fork(stream);
+        const UserEnvironment env =
+            population.sample_environment(window, env_rng);
+        const net::CapacityTrace trace = population.make_trace(env, env_rng);
+        const SessionSpec spec =
+            sample_session(library, cfg.workload, env_rng);
+        const media::Video& video = library.at(spec.video_index);
+
+        sim::PlayerConfig player = cfg.player;
+        player.watch_duration_s = spec.watch_duration_s;
+
+        for (std::size_t g = 0; g < groups.size(); ++g) {
+          auto algorithm = groups[g].factory();
+          BBA_ASSERT(algorithm != nullptr, "group factory returned null");
+          const sim::SessionResult session =
+              sim::simulate_session(video, trace, *algorithm, player);
+          accumulate(result.cells[g][day][window],
+                     sim::compute_metrics(session));
+        }
+      }
+    }
+  }
+  return result;
+}
+
+AbrFactory make_control_factory() {
+  return [] { return std::make_unique<abr::ControlAbr>(); };
+}
+
+AbrFactory make_rmin_factory() {
+  return [] { return std::make_unique<abr::RMinAlways>(); };
+}
+
+AbrFactory make_bba0_factory() {
+  return [] { return std::make_unique<core::Bba0>(); };
+}
+
+AbrFactory make_bba1_factory() {
+  return [] { return std::make_unique<core::Bba1>(); };
+}
+
+AbrFactory make_bba2_factory() {
+  return [] { return std::make_unique<core::Bba2>(); };
+}
+
+AbrFactory make_bba_others_factory() {
+  return [] { return std::make_unique<core::BbaOthers>(); };
+}
+
+}  // namespace bba::exp

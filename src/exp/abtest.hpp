@@ -1,0 +1,99 @@
+// The A/B test harness.
+//
+// Reproduces the paper's experiment design: several user groups, identical
+// in every respect except the ABR algorithm, streaming over a weekend;
+// metrics aggregated per two-hour GMT window and normalized to the Control
+// group. We use common random numbers -- user i in every group sees the
+// identical environment, title, and watch duration -- which estimates the
+// same per-window expectations as the paper's randomized groups, with far
+// less variance at simulation scale.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "abr/abr.hpp"
+#include "exp/population.hpp"
+#include "exp/workload.hpp"
+#include "media/video.hpp"
+#include "sim/player.hpp"
+
+namespace bba::exp {
+
+/// Factory producing a fresh ABR instance per session.
+using AbrFactory = std::function<std::unique_ptr<abr::RateAdaptation>()>;
+
+/// A named experiment group.
+struct Group {
+  std::string name;
+  AbrFactory factory;
+};
+
+/// Aggregated metrics of one (group, day, window) cell.
+struct WindowMetrics {
+  double play_hours = 0.0;
+  double rebuffer_count = 0.0;
+  double rebuffer_s = 0.0;
+  double avg_rate_bps = 0.0;      ///< play-time-weighted delivered rate
+  double startup_rate_bps = 0.0;  ///< over the first 2 min of each session
+  double steady_rate_bps = 0.0;   ///< after the first 2 min
+  double switch_count = 0.0;
+  long long sessions = 0;
+
+  double rebuffers_per_hour() const {
+    return play_hours > 0.0 ? rebuffer_count / play_hours : 0.0;
+  }
+  double switches_per_hour() const {
+    return play_hours > 0.0 ? switch_count / play_hours : 0.0;
+  }
+};
+
+/// Experiment dimensions.
+struct AbTestConfig {
+  std::size_t sessions_per_window = 60;  ///< per group (paired across groups)
+  std::size_t days = 3;                  ///< the paper ran Fri-Mon weekends
+  std::uint64_t seed = 2013;
+  PopulationConfig population;
+  WorkloadConfig workload;
+  sim::PlayerConfig player;
+};
+
+/// Full experiment output: cells[group][day][window].
+struct AbTestResult {
+  std::vector<std::string> group_names;
+  std::vector<std::vector<std::vector<WindowMetrics>>> cells;
+
+  std::size_t num_groups() const { return group_names.size(); }
+  std::size_t num_days() const { return cells.empty() ? 0 : cells[0].size(); }
+
+  /// Index of a group by name; aborts if absent.
+  std::size_t group_index(const std::string& name) const;
+
+  /// Metric cell merged over all days for (group, window).
+  WindowMetrics merged(std::size_t group, std::size_t window) const;
+
+  /// Per-day values of an arbitrary metric accessor for (group, window) --
+  /// the error bars of the paper's figures are the variance of these.
+  std::vector<double> per_day(
+      std::size_t group, std::size_t window,
+      const std::function<double(const WindowMetrics&)>& metric) const;
+};
+
+/// Runs the experiment: for each (day, window, user) a shared environment
+/// and session spec are drawn, then every group streams it with its own
+/// ABR. Deterministic in `cfg.seed`.
+AbTestResult run_ab_test(const std::vector<Group>& groups,
+                         const media::VideoLibrary& library,
+                         const AbTestConfig& cfg);
+
+/// Convenience factories for the standard groups.
+AbrFactory make_control_factory();
+AbrFactory make_rmin_factory();
+AbrFactory make_bba0_factory();
+AbrFactory make_bba1_factory();
+AbrFactory make_bba2_factory();
+AbrFactory make_bba_others_factory();
+
+}  // namespace bba::exp

@@ -1,0 +1,26 @@
+#include "exp/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace bba::exp {
+
+SessionSpec sample_session(const media::VideoLibrary& library,
+                           const WorkloadConfig& cfg, util::Rng& rng) {
+  BBA_ASSERT(library.size() > 0, "empty video library");
+  BBA_ASSERT(cfg.median_watch_s > 0.0 && cfg.min_watch_s > 0.0,
+             "invalid workload config");
+  SessionSpec spec;
+  spec.video_index = static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(library.size()) - 1));
+  const double video_len = library.at(spec.video_index).duration_s();
+  const double raw =
+      rng.lognormal(std::log(cfg.median_watch_s), cfg.sigma_log);
+  spec.watch_duration_s =
+      std::clamp(raw, std::min(cfg.min_watch_s, video_len), video_len);
+  return spec;
+}
+
+}  // namespace bba::exp

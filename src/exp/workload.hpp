@@ -1,0 +1,29 @@
+// Session workload: which title a user watches and for how long.
+#pragma once
+
+#include "media/video.hpp"
+#include "util/rng.hpp"
+
+namespace bba::exp {
+
+/// One viewing session's intent.
+struct SessionSpec {
+  std::size_t video_index = 0;
+  double watch_duration_s = 0.0;  ///< seconds of video the user will watch
+};
+
+/// Workload model parameters.
+struct WorkloadConfig {
+  /// Log-normal watch duration (seconds): median ~22 min with a heavy
+  /// tail, truncated below at 3 min and above at the video length.
+  double median_watch_s = 1320.0;
+  double sigma_log = 0.7;
+  double min_watch_s = 180.0;
+};
+
+/// Samples one session: uniform title choice, log-normal watch duration
+/// capped by the title length.
+SessionSpec sample_session(const media::VideoLibrary& library,
+                           const WorkloadConfig& cfg, util::Rng& rng);
+
+}  // namespace bba::exp

@@ -1,0 +1,94 @@
+#include "media/vbr.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace bba::media {
+
+namespace {
+
+/// Clamps each value to [min_ratio, max_ratio] and rescales to mean 1.
+/// Normalization can push values back over the clamp, so alternate a few
+/// times; the process converges quickly because the clamp window contains 1.
+void normalize_and_clamp(std::vector<double>& xs, double min_ratio,
+                         double max_ratio) {
+  for (int pass = 0; pass < 8; ++pass) {
+    double sum = 0.0;
+    for (double& x : xs) {
+      x = std::clamp(x, min_ratio, max_ratio);
+      sum += x;
+    }
+    const double mean = sum / static_cast<double>(xs.size());
+    bool in_range = true;
+    for (double& x : xs) {
+      x /= mean;
+      if (x < min_ratio || x > max_ratio) in_range = false;
+    }
+    if (in_range && std::fabs(mean - 1.0) < 1e-9) break;
+  }
+  // Final exact mean-1 rescale; values may exceed the clamp by a hair, which
+  // is harmless (the clamp is a modelling target, mean 1 is a contract).
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  const double mean = sum / static_cast<double>(xs.size());
+  for (double& x : xs) x /= mean;
+}
+
+}  // namespace
+
+std::vector<double> generate_complexity(std::size_t n, const VbrConfig& cfg,
+                                        util::Rng& rng) {
+  BBA_ASSERT(n >= 1, "generate_complexity requires n >= 1");
+  BBA_ASSERT(cfg.min_ratio > 0.0 && cfg.min_ratio < 1.0 &&
+                 cfg.max_ratio > 1.0,
+             "complexity clamp must straddle 1");
+  std::vector<double> xs(n);
+  double scene_log = rng.normal(0.0, cfg.sigma_scene);
+  const double p_new_scene = 1.0 / std::max(1.0, cfg.mean_scene_chunks);
+  for (std::size_t k = 0; k < n; ++k) {
+    if (k > 0 && rng.bernoulli(p_new_scene)) {
+      scene_log = rng.normal(0.0, cfg.sigma_scene);
+    }
+    xs[k] = std::exp(scene_log + rng.normal(0.0, cfg.sigma_chunk));
+  }
+  normalize_and_clamp(xs, cfg.min_ratio, cfg.max_ratio);
+  return xs;
+}
+
+std::vector<double> generate_complexity_with_credits(
+    std::size_t n, std::size_t credits_chunks, const VbrConfig& cfg,
+    util::Rng& rng) {
+  BBA_ASSERT(credits_chunks < n,
+             "credits must be shorter than the whole video");
+  std::vector<double> xs = generate_complexity(n, cfg, rng);
+  for (std::size_t k = 0; k < credits_chunks; ++k) {
+    xs[k] = cfg.min_ratio * (1.0 + 0.1 * rng.uniform());
+  }
+  normalize_and_clamp(xs, cfg.min_ratio, cfg.max_ratio);
+  return xs;
+}
+
+ChunkTable make_vbr_table(const EncodingLadder& ladder,
+                          const std::vector<double>& complexity,
+                          double chunk_duration_s) {
+  BBA_ASSERT(!complexity.empty(), "complexity must be non-empty");
+  std::vector<std::vector<double>> sizes(ladder.size());
+  for (std::size_t r = 0; r < ladder.size(); ++r) {
+    sizes[r].resize(complexity.size());
+    const double nominal_bits = ladder.rate_bps(r) * chunk_duration_s;
+    for (std::size_t k = 0; k < complexity.size(); ++k) {
+      sizes[r][k] = nominal_bits * complexity[k];
+    }
+  }
+  return ChunkTable(std::move(sizes), chunk_duration_s);
+}
+
+ChunkTable make_cbr_table(const EncodingLadder& ladder,
+                          std::size_t num_chunks, double chunk_duration_s) {
+  return make_vbr_table(ladder, std::vector<double>(num_chunks, 1.0),
+                        chunk_duration_s);
+}
+
+}  // namespace bba::media

@@ -1,0 +1,63 @@
+// Synthetic VBR (and CBR) chunk-size generation.
+//
+// Substitution for the paper's production encodes (DESIGN.md Sec. 1): the
+// paper's Fig. 10 shows 4-second chunks of a 3 Mb/s encode with mean chunk
+// size 1.5 MB and a max-to-average ratio e ~= 2. We model per-chunk
+// "scene complexity" as a piecewise (scene-structured) log-normal process
+// shared across all ladder rates -- the same scene is expensive at every
+// rate -- normalized so the mean complexity is 1 (the nominal rate is the
+// average rate, as VBR encoding guarantees).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "media/chunk_table.hpp"
+#include "media/encoding_ladder.hpp"
+#include "util/rng.hpp"
+
+namespace bba::media {
+
+/// Parameters of the scene-complexity process.
+struct VbrConfig {
+  /// Mean scene length in chunks (geometric); 5 chunks = 20 s scenes.
+  /// The paper's Fig. 10 shows chunk sizes oscillating rapidly around the
+  /// mean rather than holding long plateaus, so scenes are short and the
+  /// per-chunk jitter is strong.
+  double mean_scene_chunks = 5.0;
+  /// Std-dev of per-scene log-complexity.
+  double sigma_scene = 0.40;
+  /// Std-dev of per-chunk log-jitter within a scene.
+  double sigma_chunk = 0.22;
+  /// Complexity clamp, as a multiple of the average chunk size. The upper
+  /// clamp bounds the paper's max-to-average ratio e; production encodes
+  /// have e ~= 2.
+  double min_ratio = 0.25;
+  double max_ratio = 2.2;
+};
+
+/// Per-chunk complexity multipliers: mean exactly 1, each value within
+/// [min_ratio, max_ratio]. `n` must be >= 1.
+std::vector<double> generate_complexity(std::size_t n, const VbrConfig& cfg,
+                                        util::Rng& rng);
+
+/// Complexity profile of an opening-credits-heavy title: the first
+/// `credits_chunks` chunks are near-static (complexity ~= min_ratio), as in
+/// the paper's reservoir discussion ("when playing static scenes such as
+/// opening credits ... the calculated reservoir size is negative").
+std::vector<double> generate_complexity_with_credits(
+    std::size_t n, std::size_t credits_chunks, const VbrConfig& cfg,
+    util::Rng& rng);
+
+/// Builds a VBR chunk table: size[r][k] = V * rate(r) * complexity[k].
+/// `complexity` must have one entry per chunk.
+ChunkTable make_vbr_table(const EncodingLadder& ladder,
+                          const std::vector<double>& complexity,
+                          double chunk_duration_s);
+
+/// Builds a CBR chunk table (complexity == 1 everywhere): the idealized
+/// assumption 3 of Sec. 3.1.
+ChunkTable make_cbr_table(const EncodingLadder& ladder,
+                          std::size_t num_chunks, double chunk_duration_s);
+
+}  // namespace bba::media

@@ -1,0 +1,96 @@
+// Throughput estimators: the capacity-estimation half of Fig. 3.
+//
+// Clients observe one throughput sample per downloaded chunk (chunk bits /
+// download seconds). The Control algorithm smooths these samples; BBA-2's
+// startup uses only the last sample ("our use of capacity estimation is
+// restrained: we only look at the throughput of the last chunk").
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <string>
+
+namespace bba::net {
+
+/// Interface for per-chunk throughput estimators.
+class ThroughputEstimator {
+ public:
+  virtual ~ThroughputEstimator() = default;
+
+  /// Records one chunk download: average throughput and how long it took.
+  virtual void add_sample(double throughput_bps, double duration_s) = 0;
+
+  /// Current estimate (bits/s). Only valid once `has_estimate()`.
+  virtual double estimate_bps() const = 0;
+
+  virtual bool has_estimate() const = 0;
+
+  /// Forgets all samples (e.g. after a seek).
+  virtual void reset() = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// The throughput of the most recent chunk, verbatim.
+class LastSampleEstimator final : public ThroughputEstimator {
+ public:
+  void add_sample(double throughput_bps, double duration_s) override;
+  double estimate_bps() const override;
+  bool has_estimate() const override { return has_; }
+  void reset() override { has_ = false; }
+  std::string name() const override { return "last-sample"; }
+
+ private:
+  double last_bps_ = 0.0;
+  bool has_ = false;
+};
+
+/// Arithmetic mean of the last `window` samples.
+class SlidingMeanEstimator final : public ThroughputEstimator {
+ public:
+  explicit SlidingMeanEstimator(std::size_t window);
+  void add_sample(double throughput_bps, double duration_s) override;
+  double estimate_bps() const override;
+  bool has_estimate() const override { return !samples_.empty(); }
+  void reset() override { samples_.clear(); }
+  std::string name() const override { return "sliding-mean"; }
+
+ private:
+  std::size_t window_;
+  std::deque<double> samples_;
+};
+
+/// Exponentially weighted moving average with per-sample weight `alpha`.
+class EwmaEstimator final : public ThroughputEstimator {
+ public:
+  explicit EwmaEstimator(double alpha);
+  void add_sample(double throughput_bps, double duration_s) override;
+  double estimate_bps() const override;
+  bool has_estimate() const override { return has_; }
+  void reset() override { has_ = false; }
+  std::string name() const override { return "ewma"; }
+
+ private:
+  double alpha_;
+  double value_bps_ = 0.0;
+  bool has_ = false;
+};
+
+/// Harmonic mean of the last `window` samples -- robust to upward outliers
+/// (the estimator used by FESTIVE and similar systems).
+class HarmonicMeanEstimator final : public ThroughputEstimator {
+ public:
+  explicit HarmonicMeanEstimator(std::size_t window);
+  void add_sample(double throughput_bps, double duration_s) override;
+  double estimate_bps() const override;
+  bool has_estimate() const override { return !samples_.empty(); }
+  void reset() override { samples_.clear(); }
+  std::string name() const override { return "harmonic-mean"; }
+
+ private:
+  std::size_t window_;
+  std::deque<double> samples_;
+};
+
+}  // namespace bba::net

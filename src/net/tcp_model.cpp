@@ -1,0 +1,53 @@
+#include "net/tcp_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace bba::net {
+
+TcpDownloadModel::TcpDownloadModel(TcpModelConfig cfg) : cfg_(cfg) {
+  BBA_ASSERT(cfg_.rtt_s > 0.0, "RTT must be > 0");
+  BBA_ASSERT(cfg_.init_window_bits > 0.0, "initial window must be > 0");
+  BBA_ASSERT(cfg_.idle_reset_s >= 0.0, "idle reset must be >= 0");
+}
+
+double TcpDownloadModel::finish_time_s(const CapacityTrace& trace,
+                                       double start_s, double bits,
+                                       double idle_s) const {
+  BBA_ASSERT(start_s >= 0.0 && bits >= 0.0, "invalid download request");
+  if (bits == 0.0) return start_s;
+
+  double t = start_s;
+  double remaining = bits;
+
+  if (idle_s >= cfg_.idle_reset_s) {
+    // Cold window: walk RTT rounds, doubling the window, until the window
+    // reaches the instantaneous path rate (then the path limits).
+    double window_bits = cfg_.init_window_bits;
+    for (int round = 0; round < 64; ++round) {
+      const double path_bps = trace.rate_at_bps(t);
+      if (path_bps <= 0.0) {
+        // Outage: nothing moves this round; skip to when capacity returns
+        // by handing the remainder to the exact trace integration (which
+        // waits through the outage).
+        return trace.finish_time_s(t, remaining);
+      }
+      const double path_round_bits = path_bps * cfg_.rtt_s;
+      if (window_bits >= path_round_bits) break;  // window caught up
+      const double sendable = std::min(window_bits, remaining);
+      if (sendable >= remaining) {
+        // Finishes inside this round: delivery is spread over the RTT.
+        return t + cfg_.rtt_s * remaining / window_bits;
+      }
+      remaining -= sendable;
+      t += cfg_.rtt_s;
+      window_bits *= 2.0;
+    }
+  }
+  // Warm (or caught-up) connection: capacity-limited, exact integration.
+  return trace.finish_time_s(t, remaining);
+}
+
+}  // namespace bba::net

@@ -1,0 +1,55 @@
+// First-order TCP slow-start model for chunk downloads.
+//
+// The fluid trace model assumes a download instantly runs at C(t). Real
+// chunk fetches ride TCP: after an idle period the congestion window
+// restarts (RFC 2861), so the first RTTs of every chunk deliver far below
+// the path rate and SMALL chunks achieve a much lower measured throughput
+// than the link supports. This is the measurement trap behind the ON-OFF
+// "downward spiral" of Huang et al., "Confused, Timid, and Unstable"
+// (IMC'12), which the paper's Sec. 8 revisits: a capacity-chasing client
+// at a full buffer alternates ON-OFF, keeps measuring slow-start-degraded
+// throughput, and talks itself down the ladder; a buffer-based client
+// requests R_max whenever the buffer is full and never enters the spiral.
+//
+// Model: the deliverable rate in RTT round i is min(w0 * 2^i, C(t)) with
+// the window halved toward w0 after `idle_reset_s` of idle; once the
+// window reaches the path rate the remainder is capacity-limited (exact
+// trace integration).
+#pragma once
+
+#include "net/capacity_trace.hpp"
+
+namespace bba::net {
+
+/// Slow-start parameters.
+struct TcpModelConfig {
+  /// Path round-trip time.
+  double rtt_s = 0.08;
+
+  /// Initial congestion window in bits (IW10 x 1500-byte segments).
+  double init_window_bits = 10 * 12000.0;
+
+  /// Idle gap after which the window resets to the initial value
+  /// (RFC 2861 congestion window validation). Idle below this keeps the
+  /// connection warm (no slow start).
+  double idle_reset_s = 0.5;
+};
+
+/// Computes chunk completion times under the slow-start model.
+class TcpDownloadModel {
+ public:
+  explicit TcpDownloadModel(TcpModelConfig cfg = {});
+
+  /// Finish time of a `bits` download starting at `start_s` over `trace`,
+  /// with `idle_s` of connection idle before the request (use +infinity
+  /// for the first request of a session).
+  double finish_time_s(const CapacityTrace& trace, double start_s,
+                       double bits, double idle_s) const;
+
+  const TcpModelConfig& config() const { return cfg_; }
+
+ private:
+  TcpModelConfig cfg_;
+};
+
+}  // namespace bba::net

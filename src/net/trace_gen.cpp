@@ -1,0 +1,111 @@
+#include "net/trace_gen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "stats/descriptive.hpp"
+#include "util/assert.hpp"
+
+namespace bba::net {
+
+CapacityTrace make_step_trace(double before_bps, double after_bps,
+                              double step_at_s, double tail_duration_s) {
+  BBA_ASSERT(step_at_s > 0.0 && tail_duration_s > 0.0,
+             "step trace durations must be > 0");
+  return CapacityTrace({{step_at_s, before_bps}, {tail_duration_s, after_bps}},
+                       /*loop=*/true);
+}
+
+CapacityTrace make_square_trace(double high_bps, double low_bps,
+                                double high_duration_s,
+                                double low_duration_s) {
+  BBA_ASSERT(high_duration_s > 0.0 && low_duration_s > 0.0,
+             "square trace durations must be > 0");
+  return CapacityTrace(
+      {{high_duration_s, high_bps}, {low_duration_s, low_bps}},
+      /*loop=*/true);
+}
+
+CapacityTrace make_markov_trace(const MarkovTraceConfig& cfg,
+                                util::Rng& rng) {
+  BBA_ASSERT(cfg.median_bps > 0.0, "median capacity must be > 0");
+  BBA_ASSERT(cfg.duration_s > 0.0, "trace duration must be > 0");
+  BBA_ASSERT(cfg.mean_dwell_s > 0.0, "mean dwell must be > 0");
+  const double mu = std::log(cfg.median_bps);
+  std::vector<CapacityTrace::Segment> segments;
+  double t = 0.0;
+  while (t < cfg.duration_s) {
+    const double dwell =
+        std::max(0.5, rng.exponential(cfg.mean_dwell_s));
+    const double level = std::clamp(rng.lognormal(mu, cfg.sigma_log),
+                                    cfg.min_bps, cfg.max_bps);
+    segments.push_back({dwell, level});
+    t += dwell;
+  }
+  return CapacityTrace(std::move(segments), /*loop=*/true);
+}
+
+CapacityTrace with_outages(const CapacityTrace& base, const OutageConfig& cfg,
+                           util::Rng& rng) {
+  BBA_ASSERT(cfg.mean_interval_s > 0.0, "mean outage interval must be > 0");
+  BBA_ASSERT(cfg.min_outage_s > 0.0 && cfg.max_outage_s >= cfg.min_outage_s,
+             "outage duration range invalid");
+  std::vector<CapacityTrace::Segment> segments;
+  double next_outage = rng.exponential(cfg.mean_interval_s);
+  double t = 0.0;
+  for (const auto& seg : base.segments()) {
+    double seg_remaining = seg.duration_s;
+    while (seg_remaining > 0.0) {
+      if (t + seg_remaining <= next_outage) {
+        segments.push_back({seg_remaining, seg.rate_bps});
+        t += seg_remaining;
+        seg_remaining = 0.0;
+      } else {
+        const double before = next_outage - t;
+        if (before > 1e-9) {
+          segments.push_back({before, seg.rate_bps});
+        }
+        const double outage =
+            rng.uniform(cfg.min_outage_s, cfg.max_outage_s);
+        segments.push_back({outage, 0.0});
+        t = next_outage + outage;
+        seg_remaining -= before;
+        next_outage = t + rng.exponential(cfg.mean_interval_s);
+      }
+    }
+  }
+  return CapacityTrace(std::move(segments), base.loops());
+}
+
+namespace {
+
+std::vector<double> sample_cycle(const CapacityTrace& trace,
+                                 double sample_period_s) {
+  BBA_ASSERT(sample_period_s > 0.0, "sample period must be > 0");
+  std::vector<double> samples;
+  for (double t = sample_period_s / 2.0; t < trace.cycle_duration_s();
+       t += sample_period_s) {
+    samples.push_back(trace.rate_at_bps(t));
+  }
+  if (samples.empty()) samples.push_back(trace.rate_at_bps(0.0));
+  return samples;
+}
+
+}  // namespace
+
+double variation_ratio(const CapacityTrace& trace, double sample_period_s) {
+  const auto samples = sample_cycle(trace, sample_period_s);
+  const double p25 = stats::percentile(samples, 25.0);
+  const double p75 = stats::percentile(samples, 75.0);
+  return p25 > 0.0 ? p75 / p25 : std::numeric_limits<double>::infinity();
+}
+
+double p95_over_median(const CapacityTrace& trace, double sample_period_s) {
+  const auto samples = sample_cycle(trace, sample_period_s);
+  const double med = stats::median(samples);
+  const double p95 = stats::percentile(samples, 95.0);
+  return med > 0.0 ? p95 / med : std::numeric_limits<double>::infinity();
+}
+
+}  // namespace bba::net

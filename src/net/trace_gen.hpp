@@ -1,0 +1,69 @@
+// Capacity-trace generators.
+//
+// These are the substitute for real end-user throughput (DESIGN.md Sec. 1).
+// The key generator is the Markov-modulated one: capacity holds a level for
+// an exponential dwell time, then jumps to a new level drawn from a
+// log-normal around the session's median. The log-sigma parameter directly
+// controls the paper's variability statistics (75th/25th percentile ratio,
+// Fig. 1; median vs 95th percentile, Sec. 2.2).
+#pragma once
+
+#include <cstddef>
+
+#include "net/capacity_trace.hpp"
+#include "util/rng.hpp"
+
+namespace bba::net {
+
+/// Step trace: `before_bps` for `step_at_s` seconds, then `after_bps`
+/// forever (loops with a very long tail segment). Reproduces the Fig. 4
+/// case study ("after 25 s the available capacity drops to 350 kb/s").
+CapacityTrace make_step_trace(double before_bps, double after_bps,
+                              double step_at_s,
+                              double tail_duration_s = 3600.0);
+
+/// Square wave alternating between `high_bps` and `low_bps` with the given
+/// half-periods. Useful for studying oscillation behaviour.
+CapacityTrace make_square_trace(double high_bps, double low_bps,
+                                double high_duration_s,
+                                double low_duration_s);
+
+/// Parameters of the Markov-modulated level process.
+struct MarkovTraceConfig {
+  double median_bps = 3e6;    ///< session median capacity
+  double sigma_log = 0.5;     ///< log-normal sigma of levels (variability)
+  double mean_dwell_s = 15.0; ///< mean time at a level
+  double min_bps = 50e3;      ///< floor (links rarely drop to true zero)
+  double max_bps = 100e6;     ///< ceiling
+  double duration_s = 7200.0; ///< generated length (trace loops after)
+};
+
+/// Markov-modulated log-normal capacity trace.
+CapacityTrace make_markov_trace(const MarkovTraceConfig& cfg, util::Rng& rng);
+
+/// Parameters for injecting temporary outages (Sec. 7.1: "temporary network
+/// outages of 20-30 s are not uncommon; e.g. when a DSL modem retrains or a
+/// WiFi network suffers interference").
+struct OutageConfig {
+  double mean_interval_s = 600.0;  ///< mean time between outages
+  double min_outage_s = 15.0;
+  double max_outage_s = 35.0;
+};
+
+/// Returns a copy of `base` with zero-capacity outage windows inserted at
+/// exponentially distributed intervals.
+CapacityTrace with_outages(const CapacityTrace& base, const OutageConfig& cfg,
+                           util::Rng& rng);
+
+/// 75th/25th percentile ratio of the trace's capacity distribution sampled
+/// at `sample_period_s` over one cycle -- the paper's "variation" metric
+/// (footnote 1: 5.6 for the Fig. 1 trace).
+double variation_ratio(const CapacityTrace& trace,
+                       double sample_period_s = 1.0);
+
+/// Ratio of the 95th percentile to the median of the sampled capacity
+/// (Sec. 2.2 reports ~10% of sessions with median < half the 95th pct).
+double p95_over_median(const CapacityTrace& trace,
+                       double sample_period_s = 1.0);
+
+}  // namespace bba::net

@@ -1,0 +1,44 @@
+#include "net/trace_io.hpp"
+
+#include <cstdlib>
+
+#include "util/csv.hpp"
+
+namespace bba::net {
+
+bool write_trace_csv(const std::string& path, const CapacityTrace& trace) {
+  util::CsvWriter out(path);
+  if (!out.ok()) return false;
+  out.comment("bba capacity trace: duration_s,rate_bps");
+  out.row(std::vector<std::string>{"duration_s", "rate_bps"});
+  for (const auto& seg : trace.segments()) {
+    out.row(std::vector<double>{seg.duration_s, seg.rate_bps});
+  }
+  return true;
+}
+
+std::optional<CapacityTrace> read_trace_csv(const std::string& path,
+                                            bool loop) {
+  std::vector<util::CsvRow> rows;
+  if (!util::read_csv(path, rows, /*expect_header=*/true)) {
+    return std::nullopt;
+  }
+  std::vector<CapacityTrace::Segment> segments;
+  segments.reserve(rows.size());
+  for (const auto& row : rows) {
+    if (row.size() != 2) return std::nullopt;
+    char* end0 = nullptr;
+    char* end1 = nullptr;
+    const double duration = std::strtod(row[0].c_str(), &end0);
+    const double rate = std::strtod(row[1].c_str(), &end1);
+    if (end0 == row[0].c_str() || end1 == row[1].c_str()) {
+      return std::nullopt;
+    }
+    if (duration <= 0.0 || rate < 0.0) return std::nullopt;
+    segments.push_back({duration, rate});
+  }
+  if (segments.empty()) return std::nullopt;
+  return CapacityTrace(std::move(segments), loop);
+}
+
+}  // namespace bba::net

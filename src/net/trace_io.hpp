@@ -1,0 +1,21 @@
+// Capacity-trace file format: CSV rows of `duration_s,rate_bps`, with
+// '#' comments. Lets users replay their own measured traces through the
+// simulator (see examples/trace_driven.cpp).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "net/capacity_trace.hpp"
+
+namespace bba::net {
+
+/// Writes `trace` to `path`. Returns false on I/O failure.
+bool write_trace_csv(const std::string& path, const CapacityTrace& trace);
+
+/// Reads a trace from `path`. Returns nullopt on I/O failure or malformed
+/// rows. The trace loops by default.
+std::optional<CapacityTrace> read_trace_csv(const std::string& path,
+                                            bool loop = true);
+
+}  // namespace bba::net

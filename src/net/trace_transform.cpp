@@ -1,0 +1,59 @@
+#include "net/trace_transform.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace bba::net {
+
+CapacityTrace scale_rate(const CapacityTrace& trace, double factor) {
+  BBA_ASSERT(factor > 0.0, "scale factor must be > 0");
+  std::vector<CapacityTrace::Segment> segments = trace.segments();
+  for (auto& seg : segments) seg.rate_bps *= factor;
+  return CapacityTrace(std::move(segments), trace.loops());
+}
+
+CapacityTrace scale_time(const CapacityTrace& trace, double factor) {
+  BBA_ASSERT(factor > 0.0, "scale factor must be > 0");
+  std::vector<CapacityTrace::Segment> segments = trace.segments();
+  for (auto& seg : segments) seg.duration_s *= factor;
+  return CapacityTrace(std::move(segments), trace.loops());
+}
+
+CapacityTrace clamp_rate(const CapacityTrace& trace, double floor_bps,
+                         double ceil_bps) {
+  BBA_ASSERT(floor_bps >= 0.0 && ceil_bps >= floor_bps,
+             "invalid clamp range");
+  std::vector<CapacityTrace::Segment> segments = trace.segments();
+  for (auto& seg : segments) {
+    seg.rate_bps = std::clamp(seg.rate_bps, floor_bps, ceil_bps);
+  }
+  return CapacityTrace(std::move(segments), trace.loops());
+}
+
+CapacityTrace skip_start(const CapacityTrace& trace, double skip_s) {
+  BBA_ASSERT(skip_s >= 0.0 && skip_s < trace.cycle_duration_s(),
+             "skip must be within one cycle");
+  std::vector<CapacityTrace::Segment> segments;
+  double consumed = 0.0;
+  for (const auto& seg : trace.segments()) {
+    const double seg_end = consumed + seg.duration_s;
+    if (seg_end > skip_s) {
+      const double start_within = std::max(0.0, skip_s - consumed);
+      segments.push_back({seg.duration_s - start_within, seg.rate_bps});
+    }
+    consumed = seg_end;
+  }
+  BBA_ASSERT(!segments.empty(), "skip consumed the whole trace");
+  return CapacityTrace(std::move(segments), trace.loops());
+}
+
+CapacityTrace concat(const CapacityTrace& first, const CapacityTrace& second,
+                     bool loop) {
+  std::vector<CapacityTrace::Segment> segments = first.segments();
+  const auto& tail = second.segments();
+  segments.insert(segments.end(), tail.begin(), tail.end());
+  return CapacityTrace(std::move(segments), loop);
+}
+
+}  // namespace bba::net

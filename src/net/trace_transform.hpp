@@ -1,0 +1,33 @@
+// Trace transforms: "what if" tooling over capacity traces.
+//
+// Replaying a measured trace through the simulator invites the obvious
+// follow-ups -- what if the link were twice as fast, what if the first
+// minute were cut, what if two measurements were stitched together. These
+// pure functions build the modified trace without touching the original.
+#pragma once
+
+#include "net/capacity_trace.hpp"
+
+namespace bba::net {
+
+/// Multiplies every segment's rate by `factor` (> 0).
+CapacityTrace scale_rate(const CapacityTrace& trace, double factor);
+
+/// Multiplies every segment's duration by `factor` (> 0): slows down or
+/// speeds up the *dynamics* without changing the rate distribution.
+CapacityTrace scale_time(const CapacityTrace& trace, double factor);
+
+/// Clamps every segment's rate into [floor_bps, ceil_bps].
+CapacityTrace clamp_rate(const CapacityTrace& trace, double floor_bps,
+                         double ceil_bps);
+
+/// Drops the first `skip_s` seconds of one cycle; the result starts at the
+/// trace's state at `skip_s`. Requires 0 <= skip_s < cycle duration.
+CapacityTrace skip_start(const CapacityTrace& trace, double skip_s);
+
+/// Concatenates one cycle of `first` with one cycle of `second` (the
+/// result loops over the combined sequence if `loop`).
+CapacityTrace concat(const CapacityTrace& first, const CapacityTrace& second,
+                     bool loop = true);
+
+}  // namespace bba::net

@@ -1,0 +1,36 @@
+// Session quality metrics, matching the paper's evaluation:
+// rebuffers per playhour, time-weighted delivered video rate, switches per
+// playhour, and the startup (< 2 min of playback) vs steady-state split used
+// for Fig. 18.
+#pragma once
+
+#include "sim/session_result.hpp"
+
+namespace bba::sim {
+
+/// Derived per-session metrics.
+struct SessionMetrics {
+  double play_s = 0.0;            ///< seconds of video played
+  double join_s = 0.0;            ///< startup delay (request to first frame)
+  long long rebuffer_count = 0;   ///< number of stalls
+  double rebuffer_s = 0.0;        ///< total stall time
+  double rebuffers_per_hour = 0.0;
+
+  double avg_rate_bps = 0.0;      ///< delivered rate over all played video
+  double startup_rate_bps = 0.0;  ///< delivered rate over video [0, 2 min)
+  double steady_rate_bps = 0.0;   ///< delivered rate over video [2 min, end)
+  bool has_steady = false;        ///< session played past the startup window
+
+  long long switch_count = 0;     ///< rate changes between adjacent chunks
+  double switches_per_hour = 0.0;
+
+  bool abandoned = false;
+};
+
+/// Computes metrics from a raw session record. `steady_after_s` is the
+/// startup/steady-state boundary (the paper approximates steady state as
+/// "the period after the first two minutes in each session").
+SessionMetrics compute_metrics(const SessionResult& result,
+                               double steady_after_s = 120.0);
+
+}  // namespace bba::sim

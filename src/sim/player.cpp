@@ -1,0 +1,262 @@
+#include "sim/player.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace bba::sim {
+
+SessionResult simulate_session(const media::Video& video,
+                               const net::CapacityTrace& trace,
+                               abr::RateAdaptation& abr,
+                               const PlayerConfig& config) {
+  BBA_ASSERT(config.buffer_capacity_s >= video.chunk_duration_s(),
+             "buffer must hold at least one chunk");
+  BBA_ASSERT(config.play_threshold_s > 0.0 && config.resume_threshold_s > 0.0,
+             "playback thresholds must be > 0");
+  abr.reset();
+
+  const auto& chunks = video.chunks();
+  const auto& ladder = video.ladder();
+  const double V = chunks.chunk_duration_s();
+  const std::size_t n = chunks.num_chunks();
+  BBA_ASSERT(config.start_chunk < n, "start chunk beyond the video");
+  const double remaining_s =
+      V * static_cast<double>(n - config.start_chunk);
+  const double watch_limit =
+      std::min(config.watch_duration_s, remaining_s);
+
+  SessionResult res;
+  res.chunk_duration_s = V;
+
+  double t = config.start_wall_s;  // wall clock
+  double buffer = 0.0;  // seconds of video buffered
+  double played = 0.0;  // seconds of video played
+  bool playing = false;
+  double stall_start = -1.0;  // >= 0 while stalled after playback started
+  std::size_t stall_chunk = 0;
+  double last_tp = 0.0;
+  double last_dl = 0.0;
+  double prev_finish_s = -1.0;  // end of the previous download (TCP idle)
+  std::size_t prev_rate = 0;
+  const std::optional<net::TcpDownloadModel> tcp =
+      config.tcp ? std::optional<net::TcpDownloadModel>(*config.tcp)
+                 : std::nullopt;
+
+  auto close_stall = [&](double resume_t) {
+    if (stall_start >= 0.0) {
+      res.rebuffers.push_back({stall_start, resume_t - stall_start,
+                               stall_chunk});
+      stall_start = -1.0;
+    }
+  };
+
+  for (std::size_t k = config.start_chunk; k < n; ++k) {
+    if (played >= watch_limit) break;
+    if (t > config.max_wall_s) {
+      res.abandoned = true;
+      break;
+    }
+
+    // ON-OFF: if the buffer cannot accept another chunk, idle until it can.
+    // The buffer can only be full while playing.
+    double off_wait = 0.0;
+    if (buffer + V > config.buffer_capacity_s) {
+      off_wait = buffer + V - config.buffer_capacity_s;
+      const double need = watch_limit - played;
+      if (need <= off_wait) {
+        t += need;
+        buffer -= need;
+        played = watch_limit;
+        break;
+      }
+      t += off_wait;
+      buffer -= off_wait;
+      played += off_wait;
+    }
+
+    abr::Observation obs;
+    obs.chunk_index = k;
+    obs.buffer_s = buffer;
+    obs.buffer_max_s = config.buffer_capacity_s;
+    obs.now_s = t;
+    obs.prev_rate_index = prev_rate;
+    obs.last_throughput_bps = last_tp;
+    obs.last_download_s = last_dl;
+    obs.delta_buffer_s = last_dl > 0.0 ? V - last_dl : 0.0;
+    obs.playing = playing;
+    obs.video = &video;
+
+    const std::size_t r = abr.choose_rate(obs);
+    BBA_ASSERT(r < ladder.size(), "ABR returned an out-of-range rate index");
+
+    const double size = chunks.size_bits(r, k);
+    const double req_t = t;
+    const double idle_s = prev_finish_s < 0.0
+                              ? std::numeric_limits<double>::infinity()
+                              : req_t - prev_finish_s;
+    const double finish = tcp ? tcp->finish_time_s(trace, t, size, idle_s)
+                              : trace.finish_time_s(t, size);
+    if (!std::isfinite(finish)) {
+      // The link is dead for the rest of time: play out and abandon.
+      if (playing) {
+        const double drain = std::min(buffer, watch_limit - played);
+        played += drain;
+        t += drain;
+        buffer -= drain;
+      }
+      res.abandoned = true;
+      break;
+    }
+    const double dl = finish - req_t;
+
+    if (playing) {
+      const double need = watch_limit - played;
+      if (need <= std::min(dl, buffer)) {
+        // The user finishes their session while this chunk is in flight.
+        t += need;
+        buffer -= need;
+        played = watch_limit;
+        break;
+      }
+      if (dl > buffer) {
+        // Buffer runs dry mid-download: stall until (at least) the chunk
+        // lands. The buffer is not updated during rebuffering (Fig. 4 note).
+        stall_start = t + buffer;
+        stall_chunk = k;
+        played += buffer;
+        buffer = 0.0;
+        playing = false;
+        if (stall_start + config.give_up_stall_s < finish) {
+          // The stall will outlast the viewer's patience: they walk out
+          // mid-stall (engagement studies tie long rebuffers to abandons).
+          res.rebuffers.push_back({stall_start, config.give_up_stall_s, k});
+          res.abandoned = true;
+          res.played_s = played;
+          res.wall_s = stall_start + config.give_up_stall_s;
+          return res;
+        }
+      } else {
+        buffer -= dl;
+        played += dl;
+      }
+    }
+
+    buffer += V;
+    t = finish;
+    prev_finish_s = finish;
+
+    if (!playing) {
+      const double threshold =
+          res.started ? config.resume_threshold_s : config.play_threshold_s;
+      // The last chunk always releases playback: there is nothing more to
+      // wait for.
+      if (buffer >= threshold || k + 1 == n) {
+        playing = true;
+        if (!res.started) {
+          res.started = true;
+          res.join_s = t;
+        } else {
+          close_stall(t);
+        }
+      }
+    }
+
+    last_dl = dl;
+    last_tp = dl > 0.0 ? size / dl : 0.0;
+    const double position_s =
+        config.position_offset_s +
+        V * static_cast<double>(k - config.start_chunk);
+    res.chunks.push_back({k, r, ladder.rate_bps(r), size, req_t, finish, dl,
+                          last_tp, buffer, off_wait, position_s});
+    prev_rate = r;
+  }
+
+  // Downloads are done (or the session was cut); play out the buffer.
+  if (!res.started && buffer > 0.0) {
+    res.started = true;
+    res.join_s = t;
+    playing = true;
+  }
+  if (playing || buffer > 0.0) {
+    close_stall(t);
+    const double drain = std::min(buffer, std::max(0.0, watch_limit - played));
+    played += drain;
+    t += drain;
+    buffer -= drain;
+  }
+  close_stall(t);  // session ended while stalled: close at session end
+
+  res.played_s = played;
+  res.wall_s = t;
+  return res;
+}
+
+SessionResult simulate_session_with_seeks(const media::Video& video,
+                                          const net::CapacityTrace& trace,
+                                          abr::RateAdaptation& abr,
+                                          const std::vector<Seek>& seeks,
+                                          const PlayerConfig& config) {
+  const double V = video.chunk_duration_s();
+  SessionResult total;
+  total.chunk_duration_s = V;
+
+  double watched = 0.0;
+  double wall = config.start_wall_s;
+  std::size_t segment_start = config.start_chunk;
+  bool first_segment = true;
+
+  for (std::size_t i = 0; i <= seeks.size(); ++i) {
+    const double segment_end = i < seeks.size()
+                                   ? std::min(seeks[i].after_watched_s,
+                                              config.watch_duration_s)
+                                   : config.watch_duration_s;
+    BBA_ASSERT(i == 0 || seeks[i - 1].after_watched_s <= segment_end ||
+                   i == seeks.size(),
+               "seeks must be ordered by after_watched_s");
+    const double segment_watch = segment_end - watched;
+    if (segment_watch > 0.0) {
+      PlayerConfig sub = config;
+      sub.start_chunk = segment_start;
+      sub.start_wall_s = wall;
+      sub.position_offset_s = watched;
+      sub.watch_duration_s = segment_watch;
+      SessionResult part = simulate_session(video, trace, abr, sub);
+      // Chunks downloaded beyond the content actually played in this
+      // segment (the buffer is discarded at the seek) must not count
+      // toward the delivered-rate metrics: mark them as never played.
+      const double segment_played_end = watched + part.played_s;
+      for (auto& c : part.chunks) {
+        if (c.position_s >= segment_played_end) {
+          c.position_s = std::numeric_limits<double>::infinity();
+        }
+      }
+      total.chunks.insert(total.chunks.end(), part.chunks.begin(),
+                          part.chunks.end());
+      total.rebuffers.insert(total.rebuffers.end(), part.rebuffers.begin(),
+                             part.rebuffers.end());
+      if (first_segment) {
+        total.join_s = part.join_s;
+        total.started = part.started;
+        first_segment = false;
+      }
+      watched += part.played_s;
+      wall = part.wall_s;
+      total.abandoned = part.abandoned;
+      if (part.abandoned) break;
+    }
+    if (i < seeks.size()) {
+      const auto target = static_cast<std::size_t>(
+          std::max(0.0, seeks[i].to_position_s) / V);
+      segment_start = std::min(target, video.num_chunks() - 1);
+    }
+    if (watched >= config.watch_duration_s) break;
+  }
+  total.played_s = watched;
+  total.wall_s = wall;
+  return total;
+}
+
+}  // namespace bba::sim

@@ -1,0 +1,24 @@
+#include "sim/qoe.hpp"
+
+#include <algorithm>
+
+#include "util/units.hpp"
+
+namespace bba::sim {
+
+double qoe_score(const SessionMetrics& metrics, const QoeModel& model) {
+  double raw;
+  if (metrics.play_s <= 0.0) {
+    raw = -model.join_penalty_per_s * metrics.join_s;
+  } else {
+    const double stall_min_per_hour =
+        (metrics.rebuffer_s / 60.0) / (metrics.play_s / 3600.0);
+    raw = model.rate_utility_per_mbps * util::to_mbps(metrics.avg_rate_bps) -
+          model.rebuffer_penalty_per_min_per_hour * stall_min_per_hour -
+          model.switch_penalty_per_hour * metrics.switches_per_hour -
+          model.join_penalty_per_s * metrics.join_s;
+  }
+  return std::clamp(raw, model.min_score, model.max_score);
+}
+
+}  // namespace bba::sim

@@ -1,0 +1,43 @@
+// A simple linear quality-of-experience model.
+//
+// The paper's Sec. 8 notes that engagement depends on rebuffering, video
+// rate, join delay and switching frequency (Dobrian et al. SIGCOMM'11,
+// Krishnan & Sitaraman IMC'12) and positions the buffer-based approach "as
+// a foundation when considering other metrics". This model scores a
+// session with the standard linear form used across the ABR literature so
+// algorithms can be compared on one number; the default weights emphasize
+// rebuffering, as the engagement studies found.
+#pragma once
+
+#include "sim/metrics.hpp"
+
+namespace bba::sim {
+
+/// Linear QoE weights. Units are chosen so a typical good session scores
+/// in the low single digits.
+struct QoeModel {
+  /// Utility per Mb/s of average delivered video rate.
+  double rate_utility_per_mbps = 1.0;
+
+  /// Penalty per minute of rebuffering per hour of playback (stall ratio
+  /// scaled): rebuffering dominates engagement loss.
+  double rebuffer_penalty_per_min_per_hour = 2.0;
+
+  /// Penalty per rate switch per hour (flicker effect).
+  double switch_penalty_per_hour = 0.005;
+
+  /// Penalty per second of join delay.
+  double join_penalty_per_s = 0.05;
+
+  /// Per-session score bounds. Engagement is bounded (a viewer cannot be
+  /// more than fully lost): without the clamp a handful of catastrophic
+  /// sessions on dead links dominate every mean.
+  double min_score = -5.0;
+  double max_score = 5.0;
+};
+
+/// Scores one session; higher is better. Sessions that never played score
+/// the maximum penalty for their join failure.
+double qoe_score(const SessionMetrics& metrics, const QoeModel& model = {});
+
+}  // namespace bba::sim

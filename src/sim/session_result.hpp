@@ -1,0 +1,49 @@
+// Raw per-session output of the player simulator: one record per downloaded
+// chunk plus every rebuffer event. Metrics (rebuffers/playhour etc.) are
+// derived from this in sim/metrics.hpp.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace bba::sim {
+
+/// One downloaded chunk.
+struct ChunkRecord {
+  std::size_t index = 0;        ///< chunk index within the video
+  std::size_t rate_index = 0;   ///< ladder index requested
+  double rate_bps = 0.0;        ///< nominal rate of that index
+  double size_bits = 0.0;       ///< actual chunk size
+  double request_s = 0.0;       ///< wall time the request was issued
+  double finish_s = 0.0;        ///< wall time the download completed
+  double download_s = 0.0;      ///< finish - request
+  double throughput_bps = 0.0;  ///< size / download
+  double buffer_after_s = 0.0;  ///< buffer level right after the chunk landed
+  double off_wait_s = 0.0;      ///< ON-OFF idle wait before this request
+  /// Start of this chunk's content within the viewing (seconds of watched
+  /// content before it). Equals index * V for a plain from-the-top
+  /// session; differs after seeks.
+  double position_s = 0.0;
+};
+
+/// One playback stall ("Rebuffering..." on screen).
+struct RebufferEvent {
+  double start_s = 0.0;      ///< wall time the buffer ran dry
+  double duration_s = 0.0;   ///< stall length
+  std::size_t chunk_index = 0;  ///< chunk in flight when the stall began
+};
+
+/// Complete record of one simulated viewing session.
+struct SessionResult {
+  std::vector<ChunkRecord> chunks;
+  std::vector<RebufferEvent> rebuffers;
+
+  double chunk_duration_s = 0.0;  ///< V
+  double join_s = 0.0;            ///< wall time playback first started
+  double played_s = 0.0;          ///< seconds of video actually played
+  double wall_s = 0.0;            ///< wall-clock session length
+  bool started = false;           ///< playback ever began
+  bool abandoned = false;         ///< session aborted (dead link / wall cap)
+};
+
+}  // namespace bba::sim

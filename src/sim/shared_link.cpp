@@ -1,0 +1,295 @@
+#include "sim/shared_link.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace bba::sim {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kEps = 1e-9;
+
+struct PState {
+  const SharedPlayerSpec* spec = nullptr;
+  SessionResult result;
+
+  enum class Mode { WaitingJoin, Downloading, OffWait, Done } mode =
+      Mode::WaitingJoin;
+
+  double buffer_s = 0.0;
+  double played_s = 0.0;
+  bool playing = false;
+  double stall_start = -1.0;
+  std::size_t stall_chunk = 0;
+
+  std::size_t k = 0;  // chunk currently in flight / next to request
+  std::size_t prev_rate = 0;
+  double last_tp = 0.0;
+  double last_dl = 0.0;
+
+  double remaining_bits = 0.0;  // of the in-flight chunk
+  double chunk_bits = 0.0;
+  std::size_t chunk_rate = 0;
+  double req_t = 0.0;
+
+  double wake_t = 0.0;  // OffWait end
+  double watch_limit_s = 0.0;
+
+  void close_stall(double t) {
+    if (stall_start >= 0.0) {
+      result.rebuffers.push_back({stall_start, t - stall_start, stall_chunk});
+      stall_start = -1.0;
+    }
+  }
+
+  void finish(double t, bool abandoned) {
+    close_stall(t);
+    if (playing || buffer_s > 0.0) {
+      const double drain =
+          std::min(buffer_s, std::max(0.0, watch_limit_s - played_s));
+      played_s += drain;
+      buffer_s -= drain;
+      // Drained playback happens after t; extend the wall clock.
+      result.wall_s = t + drain;
+    } else {
+      result.wall_s = t;
+    }
+    result.played_s = played_s;
+    result.abandoned = abandoned;
+    mode = Mode::Done;
+  }
+};
+
+/// Issues the next request (or OFF wait / completion) for a player at t.
+void request_next(PState& p, double t) {
+  const media::Video& video = *p.spec->video;
+  const double V = video.chunk_duration_s();
+  if (p.played_s >= p.watch_limit_s - kEps ||
+      p.k >= video.num_chunks()) {
+    p.finish(t, /*abandoned=*/false);
+    return;
+  }
+  // ON-OFF: wait until the buffer has room. The wake time is exact (the
+  // buffer can only be full while playing). The 1 ms tolerance prevents a
+  // floating-point livelock: a sub-resolution excess would otherwise
+  // produce a zero-length wait that never drains.
+  constexpr double kOffTolerance_s = 1e-3;
+  if (p.buffer_s + V > p.spec->config.buffer_capacity_s + kOffTolerance_s) {
+    p.mode = PState::Mode::OffWait;
+    p.wake_t = t + (p.buffer_s + V - p.spec->config.buffer_capacity_s);
+    return;
+  }
+  abr::Observation obs;
+  obs.chunk_index = p.k;
+  obs.buffer_s = p.buffer_s;
+  obs.buffer_max_s = p.spec->config.buffer_capacity_s;
+  obs.now_s = t - p.spec->join_time_s;
+  obs.prev_rate_index = p.prev_rate;
+  obs.last_throughput_bps = p.last_tp;
+  obs.last_download_s = p.last_dl;
+  obs.delta_buffer_s = p.last_dl > 0.0 ? V - p.last_dl : 0.0;
+  obs.playing = p.playing;
+  obs.video = &video;
+  const std::size_t r = p.spec->abr->choose_rate(obs);
+  BBA_ASSERT(r < video.ladder().size(), "ABR returned invalid index");
+  p.chunk_rate = r;
+  p.chunk_bits = video.chunks().size_bits(r, p.k);
+  p.remaining_bits = p.chunk_bits;
+  p.req_t = t;
+  p.mode = PState::Mode::Downloading;
+}
+
+/// Advances playback (and the in-flight download) of one player by dt.
+void advance(PState& p, double t, double dt, double share_bps) {
+  if (p.mode == PState::Mode::Downloading) {
+    p.remaining_bits -= share_bps * dt;
+  }
+  if (p.mode == PState::Mode::Done || p.mode == PState::Mode::WaitingJoin) {
+    return;
+  }
+  if (p.playing) {
+    const double play = std::min(dt, p.buffer_s);
+    p.buffer_s -= play;
+    p.played_s += play;
+    if (p.buffer_s <= kEps && play < dt - kEps) {
+      // Ran dry mid-interval: stall begins.
+      p.buffer_s = 0.0;
+      p.playing = false;
+      p.stall_start = t + play;
+      p.stall_chunk = p.k;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<SessionResult> simulate_shared_link(
+    const net::CapacityTrace& bottleneck,
+    const std::vector<SharedPlayerSpec>& players) {
+  BBA_ASSERT(!players.empty(), "at least one player required");
+  std::vector<PState> states(players.size());
+  for (std::size_t i = 0; i < players.size(); ++i) {
+    const SharedPlayerSpec& spec = players[i];
+    BBA_ASSERT(spec.video != nullptr && spec.abr != nullptr,
+               "player spec must carry video and abr");
+    BBA_ASSERT(spec.config.start_chunk == 0,
+               "shared-link players start from the top");
+    states[i].spec = &spec;
+    states[i].result.chunk_duration_s = spec.video->chunk_duration_s();
+    states[i].watch_limit_s =
+        std::min(spec.config.watch_duration_s, spec.video->duration_s());
+  }
+
+  double t = 0.0;
+  long long iters = 0;
+  const double cycle = bottleneck.cycle_duration_s();
+
+  auto next_segment_boundary = [&](double now) {
+    // Smallest trace boundary strictly after `now`.
+    const double pos = std::fmod(now, cycle);
+    double acc = 0.0;
+    for (const auto& seg : bottleneck.segments()) {
+      acc += seg.duration_s;
+      if (acc > pos + kEps) return now + (acc - pos);
+    }
+    return now + (cycle - pos);
+  };
+
+  while (true) {
+    // Progress guard: an event-driven loop must terminate in a number of
+    // events polynomial in (players x chunks); hitting this cap means a
+    // livelock bug, which is better surfaced than spun on.
+    ++iters;
+    BBA_ASSERT(iters < 50000000, "shared-link simulator made no progress");
+    bool any_alive = false;
+    std::size_t active = 0;
+    for (const auto& p : states) {
+      if (p.mode != PState::Mode::Done) any_alive = true;
+      if (p.mode == PState::Mode::Downloading) ++active;
+    }
+    if (!any_alive) break;
+
+    const double share =
+        active > 0 ? bottleneck.rate_at_bps(t) / static_cast<double>(active)
+                   : 0.0;
+
+    // Next event time.
+    double next_t = next_segment_boundary(t);
+    for (const auto& p : states) {
+      switch (p.mode) {
+        case PState::Mode::WaitingJoin:
+          next_t = std::min(next_t, std::max(t, p.spec->join_time_s));
+          break;
+        case PState::Mode::OffWait:
+          next_t = std::min(next_t, p.wake_t);
+          break;
+        case PState::Mode::Downloading:
+          if (share > 0.0) {
+            next_t = std::min(next_t, t + p.remaining_bits / share);
+          }
+          break;
+        case PState::Mode::Done:
+          break;
+      }
+      // A player leaving (watch limit reached while playing) changes the
+      // share split, so it is an event too.
+      if (p.mode != PState::Mode::Done &&
+          p.mode != PState::Mode::WaitingJoin && p.playing) {
+        const double to_limit = p.watch_limit_s - p.played_s;
+        if (to_limit <= p.buffer_s + kEps) {
+          next_t = std::min(next_t, t + std::max(0.0, to_limit));
+        }
+      }
+    }
+    const double dt = std::max(0.0, next_t - t);
+
+    for (auto& p : states) advance(p, t, dt, share);
+    t = next_t;
+
+    // Process due events.
+    for (auto& p : states) {
+      if (p.mode == PState::Mode::Done) continue;
+      // Watch limit reached: the viewer leaves (in-flight data discarded).
+      if (p.mode != PState::Mode::WaitingJoin &&
+          p.played_s >= p.watch_limit_s - kEps) {
+        p.finish(t, /*abandoned=*/false);
+        continue;
+      }
+      // Wall-clock guard.
+      if (p.mode != PState::Mode::WaitingJoin &&
+          t - p.spec->join_time_s > p.spec->config.max_wall_s) {
+        p.finish(t, /*abandoned=*/true);
+        continue;
+      }
+      switch (p.mode) {
+        case PState::Mode::WaitingJoin:
+          if (t + kEps >= p.spec->join_time_s) {
+            p.spec->abr->reset();
+            request_next(p, t);
+          }
+          break;
+        case PState::Mode::OffWait:
+          if (t + kEps >= p.wake_t) request_next(p, t);
+          break;
+        case PState::Mode::Downloading:
+          if (p.remaining_bits <= kEps * std::max(1.0, p.chunk_bits)) {
+            const media::Video& video = *p.spec->video;
+            const double V = video.chunk_duration_s();
+            const double dl = std::max(1e-12, t - p.req_t);
+            p.last_dl = dl;
+            p.last_tp = p.chunk_bits / dl;
+            p.buffer_s += V;
+            const double position =
+                V * static_cast<double>(p.k);
+            p.result.chunks.push_back(
+                {p.k, p.chunk_rate,
+                 video.ladder().rate_bps(p.chunk_rate), p.chunk_bits,
+                 p.req_t, t, dl, p.last_tp, p.buffer_s, 0.0, position});
+            p.prev_rate = p.chunk_rate;
+            ++p.k;
+            if (!p.playing) {
+              const double threshold =
+                  p.result.started ? p.spec->config.resume_threshold_s
+                                   : p.spec->config.play_threshold_s;
+              if (p.buffer_s >= threshold || p.k == video.num_chunks()) {
+                p.playing = true;
+                if (!p.result.started) {
+                  p.result.started = true;
+                  p.result.join_s = t - p.spec->join_time_s;
+                } else {
+                  p.close_stall(t);
+                }
+              }
+            }
+            request_next(p, t);
+          }
+          break;
+        case PState::Mode::Done:
+          break;
+      }
+    }
+  }
+
+  std::vector<SessionResult> results;
+  results.reserve(states.size());
+  for (auto& p : states) results.push_back(std::move(p.result));
+  return results;
+}
+
+double jain_fairness_index(const std::vector<double>& values) {
+  BBA_ASSERT(!values.empty(), "fairness index needs at least one value");
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (double v : values) {
+    sum += v;
+    sum_sq += v * v;
+  }
+  if (sum_sq == 0.0) return 1.0;
+  return sum * sum / (static_cast<double>(values.size()) * sum_sq);
+}
+
+}  // namespace bba::sim

@@ -1,0 +1,44 @@
+// Multiple players competing on one bottleneck link.
+//
+// The paper's Sec. 8 discusses what happens when ABR clients share a link:
+// ON-OFF request patterns can confuse capacity estimation, and "when
+// competing with other video players, if the buffer is full, all players
+// have reached R_max, and so the algorithm is fair". This simulator models
+// the standard TCP-fair abstraction: at any instant the bottleneck
+// capacity C(t) is split equally among the players with a chunk download
+// in flight; idle (OFF) players get nothing and take nothing.
+//
+// Event-driven and exact: shares change only at chunk completions, request
+// (re)starts, player joins, and trace segment boundaries; downloads
+// progress linearly between events.
+#pragma once
+
+#include <vector>
+
+#include "abr/abr.hpp"
+#include "media/video.hpp"
+#include "net/capacity_trace.hpp"
+#include "sim/player.hpp"
+#include "sim/session_result.hpp"
+
+namespace bba::sim {
+
+/// One competing player.
+struct SharedPlayerSpec {
+  const media::Video* video = nullptr;     ///< required
+  abr::RateAdaptation* abr = nullptr;      ///< required; reset() at join
+  PlayerConfig config;                     ///< per-player player settings
+  double join_time_s = 0.0;                ///< when this player arrives
+};
+
+/// Simulates all players to completion (or `max_wall_s` per player).
+/// Returns one SessionResult per player, in input order. Deterministic.
+std::vector<SessionResult> simulate_shared_link(
+    const net::CapacityTrace& bottleneck,
+    const std::vector<SharedPlayerSpec>& players);
+
+/// Jain's fairness index over a set of per-player values (e.g. average
+/// video rates): (sum x)^2 / (n * sum x^2), in (0, 1]; 1 = perfectly fair.
+double jain_fairness_index(const std::vector<double>& values);
+
+}  // namespace bba::sim

@@ -1,0 +1,78 @@
+#include "stats/bootstrap.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "stats/descriptive.hpp"
+#include "util/assert.hpp"
+
+namespace bba::stats {
+
+BootstrapCi bootstrap_ci(
+    std::span<const double> sample,
+    const std::function<double(std::span<const double>)>& statistic,
+    util::Rng& rng, int resamples, double confidence) {
+  BBA_ASSERT(!sample.empty(), "bootstrap requires a non-empty sample");
+  BBA_ASSERT(resamples >= 100, "bootstrap requires >= 100 resamples");
+  BBA_ASSERT(confidence > 0.0 && confidence < 1.0,
+             "confidence must be in (0, 1)");
+
+  BootstrapCi ci;
+  ci.point = statistic(sample);
+
+  const auto n = static_cast<std::int64_t>(sample.size());
+  std::vector<double> resample(sample.size());
+  std::vector<double> values;
+  values.reserve(static_cast<std::size_t>(resamples));
+  for (int b = 0; b < resamples; ++b) {
+    for (auto& x : resample) {
+      x = sample[static_cast<std::size_t>(rng.uniform_int(0, n - 1))];
+    }
+    values.push_back(statistic(resample));
+  }
+  const double alpha = (1.0 - confidence) / 2.0;
+  ci.lo = percentile(values, 100.0 * alpha);
+  ci.hi = percentile(values, 100.0 * (1.0 - alpha));
+  return ci;
+}
+
+BootstrapCi bootstrap_ratio_of_sums_ci(std::span<const double> numerator,
+                                       std::span<const double> denominator,
+                                       util::Rng& rng, int resamples,
+                                       double confidence) {
+  BBA_ASSERT(numerator.size() == denominator.size() && !numerator.empty(),
+             "paired bootstrap requires matching non-empty samples");
+  BBA_ASSERT(resamples >= 100, "bootstrap requires >= 100 resamples");
+
+  auto ratio = [&](const std::vector<std::size_t>& idx) {
+    double num = 0.0;
+    double den = 0.0;
+    for (std::size_t i : idx) {
+      num += numerator[i];
+      den += denominator[i];
+    }
+    return den > 0.0 ? num / den : 0.0;
+  };
+
+  BootstrapCi ci;
+  std::vector<std::size_t> identity(numerator.size());
+  for (std::size_t i = 0; i < identity.size(); ++i) identity[i] = i;
+  ci.point = ratio(identity);
+
+  const auto n = static_cast<std::int64_t>(numerator.size());
+  std::vector<std::size_t> idx(numerator.size());
+  std::vector<double> values;
+  values.reserve(static_cast<std::size_t>(resamples));
+  for (int b = 0; b < resamples; ++b) {
+    for (auto& i : idx) {
+      i = static_cast<std::size_t>(rng.uniform_int(0, n - 1));
+    }
+    values.push_back(ratio(idx));
+  }
+  const double alpha = (1.0 - confidence) / 2.0;
+  ci.lo = percentile(values, 100.0 * alpha);
+  ci.hi = percentile(values, 100.0 * (1.0 - alpha));
+  return ci;
+}
+
+}  // namespace bba::stats

@@ -1,0 +1,39 @@
+// Percentile bootstrap confidence intervals.
+//
+// The paper reports day-to-day variance as error bars; with simulated data
+// we can do better and bootstrap the sampling distribution of any
+// statistic -- in particular the group/Control ratio of totals that the
+// normalized figures report.
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "util/rng.hpp"
+
+namespace bba::stats {
+
+/// A two-sided confidence interval around a point estimate.
+struct BootstrapCi {
+  double point = 0.0;
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+/// Percentile bootstrap of `statistic` over `sample`. Requires a non-empty
+/// sample, resamples >= 100, confidence in (0, 1). Deterministic in `rng`.
+BootstrapCi bootstrap_ci(
+    std::span<const double> sample,
+    const std::function<double(std::span<const double>)>& statistic,
+    util::Rng& rng, int resamples = 1000, double confidence = 0.95);
+
+/// Bootstrap CI for sum(numerator) / sum(denominator) over PAIRED samples
+/// (resampled jointly). This is the "ratio of play-hour-weighted totals"
+/// aggregation the figure reports use. Requires matching non-empty
+/// samples and a positive denominator total.
+BootstrapCi bootstrap_ratio_of_sums_ci(std::span<const double> numerator,
+                                       std::span<const double> denominator,
+                                       util::Rng& rng, int resamples = 1000,
+                                       double confidence = 0.95);
+
+}  // namespace bba::stats

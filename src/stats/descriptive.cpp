@@ -1,0 +1,93 @@
+#include "stats/descriptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace bba::stats {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double sum_sq = 0.0;
+  for (double x : xs) sum_sq += (x - m) * (x - m);
+  return sum_sq / static_cast<double>(xs.size() - 1);
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double percentile(std::span<const double> xs, double p) {
+  BBA_ASSERT(!xs.empty(), "percentile() requires a non-empty input");
+  BBA_ASSERT(p >= 0.0 && p <= 100.0, "percentile() requires p in [0, 100]");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted[0];
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] + frac * (sorted[lo + 1] - sorted[lo]);
+}
+
+double median(std::span<const double> xs) { return percentile(xs, 50.0); }
+
+double min(std::span<const double> xs) {
+  BBA_ASSERT(!xs.empty(), "min() requires a non-empty input");
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max(std::span<const double> xs) {
+  BBA_ASSERT(!xs.empty(), "max() requires a non-empty input");
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double weighted_mean(std::span<const double> xs, std::span<const double> ws) {
+  BBA_ASSERT(xs.size() == ws.size(),
+             "weighted_mean() requires matching lengths");
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    num += xs[i] * ws[i];
+    den += ws[i];
+  }
+  return den > 0.0 ? num / den : 0.0;
+}
+
+void Running::add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void Running::merge(const Running& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n1 = static_cast<double>(n_);
+  const auto n2 = static_cast<double>(other.n_);
+  const double total = n1 + n2;
+  mean_ += delta * n2 / total;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / total;
+  n_ += other.n_;
+}
+
+double Running::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double Running::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace bba::stats

@@ -1,0 +1,55 @@
+// Descriptive statistics used throughout the experiment harness and the
+// figure reproductions (percentile ratios from Fig. 1, window averages and
+// variances for the error bars of Figs. 7/8/14/..., etc).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace bba::stats {
+
+/// Arithmetic mean. Returns 0 for an empty span.
+double mean(std::span<const double> xs);
+
+/// Unbiased sample variance (n-1 denominator). Returns 0 for n < 2.
+double variance(std::span<const double> xs);
+
+/// Sample standard deviation.
+double stddev(std::span<const double> xs);
+
+/// p-th percentile (p in [0, 100]) with linear interpolation between order
+/// statistics (the "linear" / R type-7 definition). Requires a non-empty
+/// input; the input need not be sorted.
+double percentile(std::span<const double> xs, double p);
+
+/// Median (50th percentile).
+double median(std::span<const double> xs);
+
+/// Minimum / maximum. Require non-empty input.
+double min(std::span<const double> xs);
+double max(std::span<const double> xs);
+
+/// Weighted mean: sum(w*x)/sum(w). Returns 0 if total weight is 0.
+double weighted_mean(std::span<const double> xs, std::span<const double> ws);
+
+/// Online mean/variance accumulator (Welford). Numerically stable and
+/// single-pass; used for per-window aggregation.
+class Running {
+ public:
+  void add(double x);
+  /// Merges another accumulator (parallel aggregation).
+  void merge(const Running& other);
+
+  long long count() const { return n_; }
+  double mean() const { return mean_; }
+  /// Unbiased sample variance; 0 for n < 2.
+  double variance() const;
+  double stddev() const;
+
+ private:
+  long long n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace bba::stats

@@ -1,0 +1,59 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+#include "util/table.hpp"
+
+namespace bba::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  BBA_ASSERT(lo < hi, "Histogram requires lo < hi");
+  BBA_ASSERT(bins >= 1, "Histogram requires at least one bin");
+}
+
+void Histogram::add(double x) {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  auto idx = static_cast<long long>(std::floor((x - lo_) / width));
+  idx = std::clamp(idx, 0LL, static_cast<long long>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+double Histogram::bin_lower(std::size_t bin) const {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(bin);
+}
+
+double Histogram::bin_upper(std::size_t bin) const {
+  return bin_lower(bin + 1);
+}
+
+double Histogram::cumulative_fraction(std::size_t bin) const {
+  if (total_ == 0) return 0.0;
+  long long sum = 0;
+  for (std::size_t i = 0; i <= bin && i < counts_.size(); ++i) {
+    sum += counts_[i];
+  }
+  return static_cast<double>(sum) / static_cast<double>(total_);
+}
+
+std::string Histogram::to_string(std::size_t bar_width) const {
+  long long max_count = 1;
+  for (long long c : counts_) max_count = std::max(max_count, c);
+  std::string out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto bar = static_cast<std::size_t>(
+        static_cast<double>(counts_[i]) / static_cast<double>(max_count) *
+        static_cast<double>(bar_width));
+    out += util::format("[%10.3g, %10.3g) %8lld |", bin_lower(i),
+                        bin_upper(i), counts_[i]);
+    out.append(bar, '#');
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace bba::stats

@@ -1,0 +1,40 @@
+// Fixed-bin histogram, used for distribution summaries in the bench
+// harnesses (e.g. session throughput-variation distribution for Fig. 1).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace bba::stats {
+
+/// Equal-width histogram over [lo, hi); samples outside the range land in
+/// saturating edge bins.
+class Histogram {
+ public:
+  /// Requires lo < hi and bins >= 1.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+
+  std::size_t bin_count() const { return counts_.size(); }
+  long long count(std::size_t bin) const { return counts_.at(bin); }
+  long long total() const { return total_; }
+
+  /// Inclusive-exclusive [lower, upper) edges of a bin.
+  double bin_lower(std::size_t bin) const;
+  double bin_upper(std::size_t bin) const;
+
+  /// Fraction of samples at or below the upper edge of `bin`.
+  double cumulative_fraction(std::size_t bin) const;
+
+  /// ASCII rendering: one line per bin with a proportional bar.
+  std::string to_string(std::size_t bar_width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<long long> counts_;
+  long long total_ = 0;
+};
+
+}  // namespace bba::stats

@@ -1,0 +1,120 @@
+#include "stats/ttest.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "stats/descriptive.hpp"
+#include "util/assert.hpp"
+
+namespace bba::stats {
+
+namespace {
+
+/// log Gamma via Lanczos approximation (g=7, n=9), accurate to ~1e-13.
+double lgamma_lanczos(double x) {
+  static const double coeffs[9] = {
+      0.99999999999980993,  676.5203681218851,     -1259.1392167224028,
+      771.32342877765313,   -176.61502916214059,   12.507343278686905,
+      -0.13857109526572012, 9.9843695780195716e-6, 1.5056327351493116e-7};
+  if (x < 0.5) {
+    // Reflection formula.
+    return std::log(M_PI / std::sin(M_PI * x)) - lgamma_lanczos(1.0 - x);
+  }
+  x -= 1.0;
+  double a = coeffs[0];
+  const double t = x + 7.5;
+  for (int i = 1; i < 9; ++i) a += coeffs[i] / (x + static_cast<double>(i));
+  return 0.5 * std::log(2.0 * M_PI) + (x + 0.5) * std::log(t) - t +
+         std::log(a);
+}
+
+/// Continued fraction for the incomplete beta (Numerical Recipes betacf).
+double betacf(double a, double b, double x) {
+  constexpr int kMaxIter = 300;
+  constexpr double kEps = 3e-14;
+  constexpr double kFpMin = 1e-300;
+
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kFpMin) d = kFpMin;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIter; ++m) {
+    const int m2 = 2 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double incomplete_beta(double a, double b, double x) {
+  BBA_ASSERT(a > 0.0 && b > 0.0, "incomplete_beta() requires a, b > 0");
+  BBA_ASSERT(x >= 0.0 && x <= 1.0, "incomplete_beta() requires x in [0, 1]");
+  if (x == 0.0) return 0.0;
+  if (x == 1.0) return 1.0;
+  const double ln_front = lgamma_lanczos(a + b) - lgamma_lanczos(a) -
+                          lgamma_lanczos(b) + a * std::log(x) +
+                          b * std::log(1.0 - x);
+  const double front = std::exp(ln_front);
+  // Use the symmetry relation to keep the continued fraction convergent.
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * betacf(a, b, x) / a;
+  }
+  return 1.0 - front * betacf(b, a, 1.0 - x) / b;
+}
+
+double student_t_two_sided_p(double t, double df) {
+  BBA_ASSERT(df > 0.0, "student_t_two_sided_p() requires df > 0");
+  const double x = df / (df + t * t);
+  return incomplete_beta(df / 2.0, 0.5, x);
+}
+
+TTestResult welch_t_test(std::span<const double> a,
+                         std::span<const double> b) {
+  BBA_ASSERT(a.size() >= 2 && b.size() >= 2,
+             "welch_t_test() requires n >= 2 in both samples");
+  const double ma = mean(a);
+  const double mb = mean(b);
+  const double va = variance(a);
+  const double vb = variance(b);
+  const auto na = static_cast<double>(a.size());
+  const auto nb = static_cast<double>(b.size());
+
+  TTestResult result;
+  const double se2 = va / na + vb / nb;
+  if (se2 <= 0.0) {
+    // Degenerate samples: identical constants.
+    result.t = (ma == mb) ? 0.0 : std::numeric_limits<double>::infinity();
+    result.df = na + nb - 2.0;
+    result.p_value = (ma == mb) ? 1.0 : 0.0;
+    return result;
+  }
+  result.t = (ma - mb) / std::sqrt(se2);
+  const double num = se2 * se2;
+  const double den = (va / na) * (va / na) / (na - 1.0) +
+                     (vb / nb) * (vb / nb) / (nb - 1.0);
+  result.df = num / den;
+  result.p_value = student_t_two_sided_p(result.t, result.df);
+  return result;
+}
+
+}  // namespace bba::stats

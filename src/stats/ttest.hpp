@@ -1,0 +1,36 @@
+// Welch's two-sample t-test.
+//
+// The paper reports that "the hypothesis of BBA-0 and Rmin-Always sharing
+// the same distribution is not rejected at the 95% confidence level
+// (p-value = 0.25)". The experiment harness performs the same test on the
+// per-day window means; the Student-t CDF is computed via the regularized
+// incomplete beta function.
+#pragma once
+
+#include <span>
+
+namespace bba::stats {
+
+/// Result of a Welch two-sample t-test.
+struct TTestResult {
+  double t = 0.0;        ///< t statistic
+  double df = 0.0;       ///< Welch-Satterthwaite degrees of freedom
+  double p_value = 1.0;  ///< two-sided p-value
+  /// True if the null (equal means) is rejected at the given alpha.
+  bool significant(double alpha = 0.05) const { return p_value < alpha; }
+};
+
+/// Regularized incomplete beta function I_x(a, b) via the continued
+/// fraction expansion (Lentz). Domain: x in [0,1], a, b > 0.
+double incomplete_beta(double a, double b, double x);
+
+/// Two-sided CDF complement: P(|T| > |t|) for Student-t with df degrees of
+/// freedom.
+double student_t_two_sided_p(double t, double df);
+
+/// Welch's t-test for unequal variances. Requires both samples to have at
+/// least two elements; returns p=1 when either variance is zero and the
+/// means coincide.
+TTestResult welch_t_test(std::span<const double> a, std::span<const double> b);
+
+}  // namespace bba::stats

@@ -1,0 +1,29 @@
+// Contract-checking assertion used across the library.
+//
+// Following C++ Core Guidelines I.6/E.12: preconditions are checked in all
+// build types (the library is a research tool -- silent precondition
+// violations would corrupt experiment results), and a violation aborts with
+// a source location rather than throwing across noexcept boundaries.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace bba::util {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "BBA_ASSERT failed: %s\n  at %s:%d\n  %s\n", expr,
+               file, line, msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace bba::util
+
+// Always-on contract check. `msg` documents the violated precondition.
+#define BBA_ASSERT(expr, msg)                                        \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      ::bba::util::assert_fail(#expr, __FILE__, __LINE__, (msg));    \
+    }                                                                \
+  } while (false)

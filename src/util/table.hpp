@@ -1,0 +1,42 @@
+// Console table printer used by the bench harnesses to print figure series
+// as aligned rows ("the same rows/series the paper reports").
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace bba::util {
+
+/// Collects rows of string cells and prints them with aligned columns.
+///
+/// Usage:
+///   Table t({"window", "control", "bba0", "ratio"});
+///   t.add_row({"00-02", "0.31", "0.24", "0.77"});
+///   t.print();
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Adds one row; rows shorter than the header are padded with "".
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders the table to a string (header, separator, rows).
+  std::string to_string() const;
+
+  /// Prints to stdout.
+  void print() const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style formatting into a std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Formats a double with the given number of decimals.
+std::string fmt_double(double v, int decimals = 2);
+
+}  // namespace bba::util

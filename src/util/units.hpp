@@ -1,0 +1,36 @@
+// Unit helpers and conventions.
+//
+// All quantities in this library are `double`s with unit-suffixed names:
+//   *_s    -- seconds
+//   *_bits -- bits
+//   *_bps  -- bits per second (nominal video rates, capacities, throughputs)
+// These helpers keep literal conversions readable and grep-able.
+#pragma once
+
+namespace bba::util {
+
+/// Kilobits per second -> bits per second.
+constexpr double kbps(double v) { return v * 1e3; }
+
+/// Megabits per second -> bits per second.
+constexpr double mbps(double v) { return v * 1e6; }
+
+/// Bits per second -> kilobits per second (for reporting).
+constexpr double to_kbps(double bps) { return bps / 1e3; }
+
+/// Bits per second -> megabits per second (for reporting).
+constexpr double to_mbps(double bps) { return bps / 1e6; }
+
+/// Bits -> megabytes (for reporting chunk sizes as in the paper's Fig. 10).
+constexpr double bits_to_megabytes(double bits) { return bits / 8.0 / 1e6; }
+
+/// Minutes -> seconds.
+constexpr double minutes(double v) { return v * 60.0; }
+
+/// Hours -> seconds.
+constexpr double hours(double v) { return v * 3600.0; }
+
+/// Seconds -> hours (for per-playhour metrics).
+constexpr double to_hours(double s) { return s / 3600.0; }
+
+}  // namespace bba::util

@@ -1,0 +1,106 @@
+// Tests for the BOLA baseline (forward-looking buffer-based comparison).
+#include <gtest/gtest.h>
+
+#include "abr/bola.hpp"
+#include "media/video.hpp"
+#include "net/capacity_trace.hpp"
+#include "sim/metrics.hpp"
+#include "sim/player.hpp"
+#include "util/units.hpp"
+
+namespace bba::abr {
+namespace {
+
+using util::kbps;
+using util::mbps;
+
+const media::Video& cbr_video() {
+  static const media::Video v = media::make_cbr_video(
+      "t", media::EncodingLadder::netflix_2013(), 900, 4.0);
+  return v;
+}
+
+Observation obs_at(double buffer_s) {
+  Observation obs;
+  obs.chunk_index = 10;
+  obs.buffer_s = buffer_s;
+  obs.buffer_max_s = 240.0;
+  obs.prev_rate_index = 0;
+  obs.playing = true;
+  obs.video = &cbr_video();
+  return obs;
+}
+
+TEST(Bola, PicksRminAtEmptyBuffer) {
+  BolaAbr bola;
+  EXPECT_EQ(bola.choose_rate(obs_at(0.0)), 0u);
+  EXPECT_EQ(bola.choose_rate(obs_at(5.0)), 0u);
+}
+
+TEST(Bola, PicksRmaxAtFullBuffer) {
+  BolaAbr bola;
+  EXPECT_EQ(bola.choose_rate(obs_at(240.0)),
+            cbr_video().ladder().max_index());
+}
+
+TEST(Bola, ChoiceIsMonotoneInBuffer) {
+  // The Lyapunov objective induces a monotone buffer-to-rate map -- the
+  // same family the paper's Sec. 3 characterizes.
+  BolaAbr bola;
+  std::size_t prev = 0;
+  for (double b = 0.0; b <= 240.0; b += 1.0) {
+    const std::size_t pick = bola.choose_rate(obs_at(b));
+    EXPECT_GE(pick, prev) << "buffer " << b;
+    prev = pick;
+  }
+  EXPECT_EQ(prev, cbr_video().ladder().max_index());
+}
+
+TEST(Bola, ObjectivePerByteStructure) {
+  // At low buffer the smallest rendition has the best per-byte value; at
+  // high buffer the largest does.
+  BolaAbr bola;
+  EXPECT_GT(bola.objective(obs_at(0.0), 0),
+            bola.objective(obs_at(0.0), 8));
+  EXPECT_LT(bola.objective(obs_at(239.0), 0),
+            bola.objective(obs_at(239.0), 8));
+}
+
+TEST(Bola, ThresholdsShiftTheMap) {
+  BolaConfig eager;
+  eager.min_threshold_s = 6.0;
+  eager.max_threshold_s = 60.0;
+  BolaAbr fast(eager);
+  BolaAbr stock;
+  // At a mid buffer the eager configuration picks a higher rendition.
+  EXPECT_GT(fast.choose_rate(obs_at(50.0)), stock.choose_rate(obs_at(50.0)));
+}
+
+TEST(Bola, NoUnnecessaryRebufferEndToEnd) {
+  // As a monotone buffer-based map pinned at R_min near empty, BOLA
+  // inherits the Sec. 3 guarantee.
+  BolaAbr bola;
+  const net::CapacityTrace trace({{30.0, kbps(260)}, {30.0, mbps(8)}});
+  sim::PlayerConfig player;
+  player.watch_duration_s = 1800.0;
+  const sim::SessionResult r =
+      sim::simulate_session(cbr_video(), trace, bola, player);
+  EXPECT_TRUE(r.rebuffers.empty());
+}
+
+TEST(Bola, TracksCapacityOnConstantLink) {
+  BolaAbr bola;
+  const net::CapacityTrace trace = net::CapacityTrace::constant(mbps(2.5));
+  sim::PlayerConfig player;
+  player.watch_duration_s = 2400.0;
+  const sim::SessionMetrics m = sim::compute_metrics(
+      sim::simulate_session(cbr_video(), trace, bola, player));
+  EXPECT_EQ(m.rebuffer_count, 0);
+  EXPECT_GT(m.steady_rate_bps, kbps(1500));
+  EXPECT_LE(m.steady_rate_bps, mbps(2.5));
+}
+
+TEST(Bola, NameIsStable) { EXPECT_EQ(BolaAbr().name(), "bola"); }
+
+}  // namespace
+}  // namespace bba::abr

@@ -1,0 +1,140 @@
+// Tests for the related-work baselines (PID and Elastic controllers).
+#include <gtest/gtest.h>
+
+#include "abr/related_work.hpp"
+#include "media/video.hpp"
+#include "net/trace_gen.hpp"
+#include "sim/metrics.hpp"
+#include "sim/player.hpp"
+#include "util/units.hpp"
+
+namespace bba::abr {
+namespace {
+
+using util::kbps;
+using util::mbps;
+
+const media::Video& test_video() {
+  static const media::Video video = media::make_cbr_video(
+      "t", media::EncodingLadder::netflix_2013(), 1200, 4.0);
+  return video;
+}
+
+Observation make_obs(std::size_t chunk, double buffer_s, std::size_t prev,
+                     double tput_bps) {
+  Observation obs;
+  obs.chunk_index = chunk;
+  obs.buffer_s = buffer_s;
+  obs.buffer_max_s = 240.0;
+  obs.prev_rate_index = prev;
+  obs.last_throughput_bps = tput_bps;
+  obs.last_download_s = tput_bps > 0.0 ? 1.0 : 0.0;
+  obs.playing = chunk > 0;
+  obs.video = &test_video();
+  return obs;
+}
+
+TEST(Pid, StartIndexBeforeSamples) {
+  PidAbr abr;
+  EXPECT_EQ(abr.choose_rate(make_obs(0, 0.0, 0, 0.0)), 1u);
+}
+
+TEST(Pid, AdjustmentGrowsWithBuffer) {
+  PidConfig cfg;
+  PidAbr low(cfg);
+  PidAbr high(cfg);
+  (void)low.choose_rate(make_obs(1, 10.0, 1, mbps(3)));
+  const double adj_low = low.adjustment();
+  (void)high.choose_rate(make_obs(1, 200.0, 1, mbps(3)));
+  const double adj_high = high.adjustment();
+  EXPECT_LT(adj_low, 1.0);   // below the 60 s set-point: conservative
+  EXPECT_GT(adj_high, 1.0);  // above: aggressive
+  EXPECT_LT(adj_low, adj_high);
+}
+
+TEST(Pid, AdjustmentIsClamped) {
+  PidConfig cfg;
+  PidAbr abr(cfg);
+  for (int i = 1; i < 50; ++i) {
+    (void)abr.choose_rate(
+        make_obs(static_cast<std::size_t>(i), 0.0, 0, mbps(3)));
+  }
+  EXPECT_GE(abr.adjustment(), cfg.adjustment_min);
+  // And at a persistently huge buffer it saturates at the upper clamp.
+  PidAbr abr2(cfg);
+  for (int i = 1; i < 200; ++i) {
+    (void)abr2.choose_rate(
+        make_obs(static_cast<std::size_t>(i), 239.0, 5, mbps(3)));
+  }
+  EXPECT_LE(abr2.adjustment(), cfg.adjustment_max);
+}
+
+TEST(Pid, StepsOneLevelAtATime) {
+  PidAbr abr;
+  // Huge estimate: the unconstrained pick is the top of the ladder, but
+  // the smooth quantizer moves one rung per chunk.
+  EXPECT_EQ(abr.choose_rate(make_obs(1, 60.0, 1, mbps(50))), 2u);
+  EXPECT_EQ(abr.choose_rate(make_obs(2, 60.0, 2, mbps(50))), 3u);
+  // Collapsed estimate: one rung down.
+  EXPECT_EQ(abr.choose_rate(make_obs(3, 60.0, 3, kbps(100))), 2u);
+}
+
+TEST(Pid, ResetClearsControllerState) {
+  PidAbr abr;
+  for (int i = 1; i < 30; ++i) {
+    (void)abr.choose_rate(
+        make_obs(static_cast<std::size_t>(i), 200.0, 3, mbps(3)));
+  }
+  abr.reset();
+  EXPECT_EQ(abr.choose_rate(make_obs(0, 0.0, 0, 0.0)), 1u);
+  EXPECT_DOUBLE_EQ(abr.adjustment(), 1.0);
+}
+
+TEST(Elastic, StartIndexBeforeSamples) {
+  ElasticAbr abr;
+  EXPECT_EQ(abr.choose_rate(make_obs(0, 0.0, 0, 0.0)), 1u);
+}
+
+TEST(Elastic, DrivesBufferTowardSetPoint) {
+  ElasticConfig cfg;
+  ElasticAbr below(cfg);
+  ElasticAbr above(cfg);
+  // Below the set-point the controller under-requests (refill); above it
+  // over-requests (drain).
+  const std::size_t r_below =
+      below.choose_rate(make_obs(1, 5.0, 3, mbps(2)));
+  const std::size_t r_above =
+      above.choose_rate(make_obs(1, 200.0, 3, mbps(2)));
+  EXPECT_LT(r_below, r_above);
+}
+
+TEST(Elastic, EndToEndStableOnConstantLink) {
+  ElasticAbr abr;
+  const net::CapacityTrace trace = net::CapacityTrace::constant(mbps(3));
+  sim::PlayerConfig player;
+  player.watch_duration_s = util::minutes(40);
+  const sim::SessionMetrics m = sim::compute_metrics(
+      sim::simulate_session(test_video(), trace, abr, player));
+  EXPECT_EQ(m.rebuffer_count, 0);
+  EXPECT_GT(m.avg_rate_bps, kbps(1500));
+  EXPECT_LE(m.avg_rate_bps, mbps(3));
+}
+
+TEST(Pid, EndToEndStableOnConstantLink) {
+  PidAbr abr;
+  const net::CapacityTrace trace = net::CapacityTrace::constant(mbps(3));
+  sim::PlayerConfig player;
+  player.watch_duration_s = util::minutes(40);
+  const sim::SessionMetrics m = sim::compute_metrics(
+      sim::simulate_session(test_video(), trace, abr, player));
+  EXPECT_EQ(m.rebuffer_count, 0);
+  EXPECT_GT(m.avg_rate_bps, kbps(1500));
+}
+
+TEST(RelatedWork, NamesAreStable) {
+  EXPECT_EQ(PidAbr().name(), "pid");
+  EXPECT_EQ(ElasticAbr().name(), "elastic");
+}
+
+}  // namespace
+}  // namespace bba::abr

@@ -1,0 +1,131 @@
+// Exhaustive consistency sweep of Algorithm 1 against an independently
+// written reference implementation, over every previous-rate index and a
+// dense buffer grid. The reference follows the paper's pseudocode line by
+// line in a different style; any divergence between the two readings of
+// the pseudocode fails here.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/bba0.hpp"
+#include "core/rate_map.hpp"
+#include "media/encoding_ladder.hpp"
+#include "util/units.hpp"
+
+namespace bba::core {
+namespace {
+
+using util::kbps;
+
+/// Literal transcription of Algorithm 1 from the paper.
+std::size_t reference_algorithm1(const RateMap& map,
+                                 const media::EncodingLadder& ladder,
+                                 std::size_t prev, double buf) {
+  const std::vector<double>& rates = ladder.rates_bps();
+  const double rate_prev = rates[prev];
+
+  // Rate+ = Rmax if Rate_prev == Rmax else min{Ri : Ri > Rate_prev}.
+  double rate_plus = rates.back();
+  if (rate_prev != rates.back()) {
+    for (double r : rates) {
+      if (r > rate_prev) {
+        rate_plus = r;
+        break;
+      }
+    }
+  }
+  // Rate- = Rmin if Rate_prev == Rmin else max{Ri : Ri < Rate_prev}.
+  double rate_minus = rates.front();
+  if (rate_prev != rates.front()) {
+    for (auto it = rates.rbegin(); it != rates.rend(); ++it) {
+      if (*it < rate_prev) {
+        rate_minus = *it;
+        break;
+      }
+    }
+  }
+
+  double rate_next = rate_prev;
+  const double r = map.reservoir_s();
+  const double cu = map.cushion_s();
+  if (buf <= r) {
+    rate_next = rates.front();
+  } else if (buf >= r + cu) {
+    rate_next = rates.back();
+  } else if (map.rate_at_bps(buf) >= rate_plus) {
+    // max{Ri : Ri < f(Buf)}
+    double best = rates.front();
+    for (double ri : rates) {
+      if (ri < map.rate_at_bps(buf)) best = ri;
+    }
+    rate_next = best;
+  } else if (map.rate_at_bps(buf) <= rate_minus) {
+    // min{Ri : Ri > f(Buf)}
+    double best = rates.back();
+    for (auto it = rates.rbegin(); it != rates.rend(); ++it) {
+      if (*it > map.rate_at_bps(buf)) best = *it;
+    }
+    rate_next = best;
+  }
+  // Translate the chosen rate back to its index.
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    if (rates[i] == rate_next) return i;
+  }
+  ADD_FAILURE() << "reference produced a rate not on the ladder";
+  return 0;
+}
+
+TEST(Algorithm1Sweep, MatchesLiteralTranscription) {
+  const media::EncodingLadder ladder = media::EncodingLadder::netflix_2013();
+  const RateMap map =
+      RateMap::bba0_default(ladder.rmin_bps(), ladder.rmax_bps());
+  long long checked = 0;
+  for (std::size_t prev = 0; prev < ladder.size(); ++prev) {
+    for (double buf = 0.0; buf <= 240.0; buf += 0.25) {
+      const std::size_t ours = Bba0::algorithm1(map, ladder, prev, buf);
+      const std::size_t ref = reference_algorithm1(map, ladder, prev, buf);
+      ASSERT_EQ(ours, ref) << "prev=" << prev << " buf=" << buf;
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 8000);
+}
+
+TEST(Algorithm1Sweep, MatchesOnAlternateGeometries) {
+  const media::EncodingLadder ladder = media::EncodingLadder::netflix_2013();
+  for (double reservoir : {10.0, 45.0, 90.0, 140.0}) {
+    for (double cushion : {40.0, 126.0, 200.0}) {
+      const RateMap map(reservoir, cushion, ladder.rmin_bps(),
+                        ladder.rmax_bps());
+      for (std::size_t prev = 0; prev < ladder.size(); ++prev) {
+        for (double buf = 0.0; buf <= 260.0; buf += 1.0) {
+          ASSERT_EQ(Bba0::algorithm1(map, ladder, prev, buf),
+                    reference_algorithm1(map, ladder, prev, buf))
+              << "r=" << reservoir << " cu=" << cushion << " prev=" << prev
+              << " buf=" << buf;
+        }
+      }
+    }
+  }
+}
+
+TEST(Algorithm1Sweep, MatchesOnSmallLadders) {
+  // Two- and three-rate ladders hit every saturation edge.
+  for (const auto& rates :
+       {std::vector<double>{kbps(235), kbps(5000)},
+        std::vector<double>{kbps(235), kbps(1000), kbps(5000)}}) {
+    const media::EncodingLadder ladder(rates);
+    const RateMap map(30.0, 100.0, ladder.rmin_bps(), ladder.rmax_bps());
+    for (std::size_t prev = 0; prev < ladder.size(); ++prev) {
+      for (double buf = 0.0; buf <= 180.0; buf += 0.5) {
+        ASSERT_EQ(Bba0::algorithm1(map, ladder, prev, buf),
+                  reference_algorithm1(map, ladder, prev, buf))
+            << "ladder=" << rates.size() << " prev=" << prev
+            << " buf=" << buf;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bba::core

@@ -1,0 +1,148 @@
+// Tests for BBA-0: Algorithm 1 exactly as printed in the paper, over the
+// Fig. 6 rate map.
+#include <gtest/gtest.h>
+
+#include "abr/abr.hpp"
+#include "core/bba0.hpp"
+#include "media/video.hpp"
+#include "util/units.hpp"
+
+namespace bba::core {
+namespace {
+
+using util::kbps;
+
+const media::EncodingLadder& ladder() {
+  static const media::EncodingLadder l = media::EncodingLadder::netflix_2013();
+  return l;
+}
+
+const RateMap& map() {
+  static const RateMap m =
+      RateMap::bba0_default(ladder().rmin_bps(), ladder().rmax_bps());
+  return m;
+}
+
+TEST(Algorithm1, ReservoirPinsToRmin) {
+  // Buf <= r -> R_min regardless of the previous rate.
+  for (std::size_t prev = 0; prev < ladder().size(); ++prev) {
+    EXPECT_EQ(Bba0::algorithm1(map(), ladder(), prev, 0.0), 0u);
+    EXPECT_EQ(Bba0::algorithm1(map(), ladder(), prev, 90.0), 0u);
+  }
+}
+
+TEST(Algorithm1, UpperReservoirPinsToRmax) {
+  // Buf >= r + cu -> R_max regardless of the previous rate.
+  for (std::size_t prev = 0; prev < ladder().size(); ++prev) {
+    EXPECT_EQ(Bba0::algorithm1(map(), ladder(), prev, 216.0),
+              ladder().max_index());
+    EXPECT_EQ(Bba0::algorithm1(map(), ladder(), prev, 240.0),
+              ladder().max_index());
+  }
+}
+
+TEST(Algorithm1, SticksBetweenBarriers) {
+  // At B = 150 s, f(B) = 235 + (60/126) * 4765 ~= 2504 kb/s.
+  // With prev = 2350 (index 6): Rate+ = 3000, Rate- = 1750.
+  // 1750 < f < 3000 -> stay.
+  EXPECT_EQ(Bba0::algorithm1(map(), ladder(), 6, 150.0), 6u);
+}
+
+TEST(Algorithm1, SwitchesUpWhenCrossingRatePlus) {
+  // At B = 150 s (f ~= 2504), prev = 1750 (index 5): Rate+ = 2350 <= f
+  // -> switch up to max{Ri < f} = 2350 (index 6).
+  EXPECT_EQ(Bba0::algorithm1(map(), ladder(), 5, 150.0), 6u);
+  // From far below, the jump is multi-step: prev = 375 (index 1) -> 2350.
+  EXPECT_EQ(Bba0::algorithm1(map(), ladder(), 1, 150.0), 6u);
+}
+
+TEST(Algorithm1, SwitchesDownWhenCrossingRateMinus) {
+  // At B = 100 s, f(B) = 235 + (10/126) * 4765 ~= 613 kb/s.
+  // prev = 3000 (index 7): Rate- = 2350 >= f -> switch down to
+  // min{Ri > f} = 750 (index 3).
+  EXPECT_EQ(Bba0::algorithm1(map(), ladder(), 7, 100.0), 3u);
+}
+
+TEST(Algorithm1, DownSwitchLandsJustAboveF) {
+  // At B = 120 s, f ~= 235 + (30/126)*4765 = 1369. prev = 3000 (7):
+  // Rate- = 2350 >= f -> min{Ri > 1369} = 1750 (index 5).
+  EXPECT_EQ(Bba0::algorithm1(map(), ladder(), 7, 120.0), 5u);
+}
+
+TEST(Algorithm1, NoChangeJustBelowUpBarrier) {
+  // prev = 2350 (index 6), Rate+ = 3000. Find B where f is just below
+  // 3000: f(B) = 3000 at B = 90 + 126*(3000-235)/4765 = 163.1.
+  EXPECT_EQ(Bba0::algorithm1(map(), ladder(), 6, 162.0), 6u);
+  // And just above the barrier it switches.
+  EXPECT_EQ(Bba0::algorithm1(map(), ladder(), 6, 165.0), 7u);
+}
+
+TEST(Algorithm1, HysteresisWindowIsSticky) {
+  // Sweep the cushion with prev = 1050 (index 4): the choice must be
+  // monotone in B and equal to prev inside the (Rate-, Rate+) window.
+  std::size_t last = 0;
+  for (double b = 91.0; b < 216.0; b += 0.5) {
+    const std::size_t pick = Bba0::algorithm1(map(), ladder(), 4, b);
+    EXPECT_GE(pick, last);  // monotone sweep for fixed prev
+    last = pick;
+  }
+}
+
+TEST(Algorithm1, RateMinusEdgeAtRmin) {
+  // prev = R_min: Rate- = R_min; f > R_min just above the reservoir, so
+  // the down barrier can never trigger; stays until Rate+ crossed.
+  // f crosses 375 at B = 90 + 126*(375-235)/4765 = 93.7.
+  EXPECT_EQ(Bba0::algorithm1(map(), ladder(), 0, 92.0), 0u);
+  EXPECT_EQ(Bba0::algorithm1(map(), ladder(), 0, 95.0), 1u);
+}
+
+TEST(Bba0, FirstChunkUsesStartIndex) {
+  Bba0Config cfg;
+  cfg.start_index = 0;
+  Bba0 abr(cfg);
+  abr::Observation obs;
+  obs.chunk_index = 0;
+  obs.buffer_s = 0.0;
+  obs.buffer_max_s = 240.0;
+  obs.prev_rate_index = 99;  // must be ignored for chunk 0
+  static const media::Video video =
+      media::make_cbr_video("t", ladder(), 50, 4.0);
+  obs.video = &video;
+  EXPECT_EQ(abr.choose_rate(obs), 0u);
+}
+
+TEST(Bba0, UsesObservationBufferAndPrev) {
+  Bba0 abr;
+  abr::Observation obs;
+  obs.chunk_index = 10;
+  obs.buffer_s = 150.0;
+  obs.buffer_max_s = 240.0;
+  obs.prev_rate_index = 6;
+  static const media::Video video =
+      media::make_cbr_video("t", ladder(), 50, 4.0);
+  obs.video = &video;
+  EXPECT_EQ(abr.choose_rate(obs), 6u);  // same case as SticksBetweenBarriers
+}
+
+TEST(Bba0, CustomGeometryShiftsBarriers) {
+  // A 30 s reservoir reaches higher rates at lower buffer levels.
+  Bba0Config cfg;
+  cfg.reservoir_s = 30.0;
+  cfg.cushion_s = 126.0;
+  Bba0 small(cfg);
+  Bba0 stock;
+  abr::Observation obs;
+  obs.chunk_index = 10;
+  obs.buffer_s = 100.0;
+  obs.buffer_max_s = 240.0;
+  obs.prev_rate_index = 0;
+  static const media::Video video =
+      media::make_cbr_video("t", ladder(), 50, 4.0);
+  obs.video = &video;
+  EXPECT_GT(small.choose_rate(obs), stock.choose_rate(obs));
+}
+
+TEST(Bba0, NameIsStable) { EXPECT_EQ(Bba0().name(), "bba0"); }
+
+}  // namespace
+}  // namespace bba::core

@@ -1,0 +1,291 @@
+// Tests for BBA-1: chunk-map barriers against real upcoming chunk sizes,
+// dynamic reservoir updates, outage protection, and the monotone-reservoir
+// variant.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "abr/abr.hpp"
+#include "core/bba1.hpp"
+#include "media/vbr.hpp"
+#include "media/video.hpp"
+#include "util/units.hpp"
+
+namespace bba::core {
+namespace {
+
+using util::kbps;
+
+/// A CBR test video: every chunk exactly V * R bits, reservoir clamps to
+/// the 8 s minimum, which makes barrier positions easy to compute.
+const media::Video& cbr_video() {
+  static const media::Video v = media::make_cbr_video(
+      "cbr", media::EncodingLadder::netflix_2013(), 400, 4.0);
+  return v;
+}
+
+abr::Observation make_obs(std::size_t chunk, double buffer_s,
+                          std::size_t prev, const media::Video& video,
+                          double last_dl = 1.0) {
+  abr::Observation obs;
+  obs.chunk_index = chunk;
+  obs.buffer_s = buffer_s;
+  obs.buffer_max_s = 240.0;
+  obs.now_s = 4.0 * static_cast<double>(chunk);
+  obs.prev_rate_index = prev;
+  obs.last_throughput_bps = kbps(3000);
+  obs.last_download_s = last_dl;
+  obs.delta_buffer_s = 4.0 - last_dl;
+  obs.playing = chunk > 0;
+  obs.video = &video;
+  return obs;
+}
+
+Bba1Config no_outage_config() {
+  Bba1Config cfg;
+  cfg.outage_protection = false;
+  return cfg;
+}
+
+TEST(Bba1, PinsToRminBelowReservoir) {
+  Bba1 abr(no_outage_config());
+  abr.reset();
+  // CBR: reservoir = 8 s. Any buffer <= 8 s picks R_min.
+  EXPECT_EQ(abr.choose_rate(make_obs(5, 4.0, 6, cbr_video())), 0u);
+  EXPECT_DOUBLE_EQ(abr.effective_reservoir_s(), 8.0);
+}
+
+TEST(Bba1, PinsToRmaxAboveKnee) {
+  Bba1 abr(no_outage_config());
+  abr.reset();
+  // Upper knee = 0.9 * 240 = 216 s.
+  EXPECT_EQ(abr.choose_rate(make_obs(5, 216.0, 0, cbr_video())),
+            cbr_video().ladder().max_index());
+}
+
+TEST(Bba1, ChunkMapBarriersMatchHandComputation) {
+  // CBR chunk map: reservoir 8, knee 216, cushion 208; allowable bits at
+  // buffer B = cmin + (B-8)/208 * (cmax - cmin), with cmin = 0.94 Mb and
+  // cmax = 20 Mb. The up barrier from prev=0 is where bits >= size(375k)
+  // = 1.5 Mb: B = 8 + 208*(1.5-0.94)/19.06 ~= 14.1 s.
+  Bba1 abr(no_outage_config());
+  abr.reset();
+  EXPECT_EQ(abr.choose_rate(make_obs(5, 13.0, 0, cbr_video())), 0u);
+  abr.reset();
+  EXPECT_EQ(abr.choose_rate(make_obs(5, 15.0, 0, cbr_video())), 1u);
+}
+
+TEST(Bba1, SticksBetweenBarriers) {
+  // At B = 100: bits = 0.94 + (92/208)*19.06 = 9.37 Mb. prev = 2350
+  // (idx 6, size 9.4 Mb): up barrier needs >= size(3000)=12 Mb (no);
+  // down barrier needs <= size(1750)=7 Mb (no) -> stay.
+  Bba1 abr(no_outage_config());
+  abr.reset();
+  EXPECT_EQ(abr.choose_rate(make_obs(5, 100.0, 6, cbr_video())), 6u);
+}
+
+TEST(Bba1, SwitchesDownPastBarrier) {
+  // At B = 60: bits = 0.94 + (52/208)*19.06 = 5.7 Mb. prev = 3000 (idx 7):
+  // down barrier vs size(2350) = 9.4 Mb -> triggered; candidate =
+  // min{Ri: size > 5.7 Mb} = 1750 (7 Mb, idx 5).
+  Bba1 abr(no_outage_config());
+  abr.reset();
+  EXPECT_EQ(abr.choose_rate(make_obs(5, 60.0, 7, cbr_video())), 5u);
+}
+
+TEST(Bba1, SwitchesUpPastBarrier) {
+  // At B = 150: bits = 0.94 + (142/208)*19.06 = 13.95 Mb. prev = 1050
+  // (idx 4): up barrier vs size(1750) = 7 Mb -> triggered; candidate =
+  // max{Ri: size < 13.95 Mb} = 3000 (12 Mb, idx 7).
+  Bba1 abr(no_outage_config());
+  abr.reset();
+  EXPECT_EQ(abr.choose_rate(make_obs(5, 150.0, 4, cbr_video())), 7u);
+}
+
+TEST(Bba1, VbrChunkSizesShiftDecisions) {
+  // A video whose next chunks are 2x the average needs twice the buffer
+  // to step up, compared to a 1x video at the same nominal rate.
+  const media::EncodingLadder ladder = media::EncodingLadder::netflix_2013();
+  std::vector<double> heavy(400, 1.0);
+  for (std::size_t k = 100; k < 400; ++k) heavy[k] = 2.0;
+  const media::Video vbr("heavy", ladder,
+                         media::make_vbr_table(ladder, heavy, 4.0));
+  Bba1 a(no_outage_config());
+  a.reset();
+  Bba1 b(no_outage_config());
+  b.reset();
+  // Decision inside the heavy region vs the same buffer level on a CBR
+  // title: the 2x upcoming chunks (and the larger reservoir they imply)
+  // hold the rate back.
+  const std::size_t pick_heavy =
+      a.choose_rate(make_obs(100, 40.0, 0, vbr));
+  const std::size_t pick_normal =
+      b.choose_rate(make_obs(0, 40.0, 0, cbr_video()));
+  EXPECT_LT(pick_heavy, pick_normal);
+}
+
+TEST(Bba1, DynamicReservoirRisesForDemandingWindow) {
+  const media::EncodingLadder ladder = media::EncodingLadder::netflix_2013();
+  std::vector<double> profile(400, 1.0);
+  for (std::size_t k = 150; k < 300; ++k) profile[k] = 2.0;
+  const media::Video vbr("demanding", ladder,
+                         media::make_vbr_table(ladder, profile, 4.0));
+  Bba1 abr(no_outage_config());
+  abr.reset();
+  // At chunk 0 the 480 s (120-chunk) window sees none of the heavy run.
+  (void)abr.choose_rate(make_obs(0, 10.0, 0, vbr));
+  const double early = abr.effective_reservoir_s();
+  (void)abr.choose_rate(make_obs(160, 10.0, 0, vbr));
+  const double inside = abr.effective_reservoir_s();
+  EXPECT_GT(inside, early);
+  EXPECT_DOUBLE_EQ(early, 8.0);     // clamped at the minimum
+  EXPECT_DOUBLE_EQ(inside, 140.0);  // fully demanding window clamps at max
+}
+
+TEST(Bba1, ReservoirShrinksBackWithoutMonotoneFlag) {
+  const media::EncodingLadder ladder = media::EncodingLadder::netflix_2013();
+  std::vector<double> profile(400, 1.0);
+  for (std::size_t k = 0; k < 150; ++k) profile[k] = 2.0;
+  const media::Video vbr("spike", ladder,
+                         media::make_vbr_table(ladder, profile, 4.0));
+  Bba1 abr(no_outage_config());
+  abr.reset();
+  (void)abr.choose_rate(make_obs(0, 10.0, 0, vbr));
+  const double at_spike = abr.effective_reservoir_s();
+  (void)abr.choose_rate(make_obs(300, 10.0, 0, vbr));
+  const double after = abr.effective_reservoir_s();
+  EXPECT_LT(after, at_spike);
+}
+
+TEST(Bba1, MonotoneReservoirNeverShrinks) {
+  const media::EncodingLadder ladder = media::EncodingLadder::netflix_2013();
+  std::vector<double> profile(400, 1.0);
+  for (std::size_t k = 0; k < 150; ++k) profile[k] = 2.0;
+  const media::Video vbr("spike", ladder,
+                         media::make_vbr_table(ladder, profile, 4.0));
+  Bba1Config cfg = no_outage_config();
+  cfg.monotone_reservoir = true;
+  Bba1 abr(cfg);
+  abr.reset();
+  double prev = 0.0;
+  for (std::size_t k = 0; k < 400; k += 10) {
+    (void)abr.choose_rate(make_obs(k, 10.0, 0, vbr));
+    EXPECT_GE(abr.effective_reservoir_s(), prev);
+    prev = abr.effective_reservoir_s();
+  }
+}
+
+TEST(Bba1, OutageProtectionAccruesWhileBufferRises) {
+  Bba1Config cfg;
+  cfg.outage_protection = true;
+  Bba1 abr(cfg);
+  abr.reset();
+  // Rising buffer below 75% of 240 s = 180 s: accrues 0.4 s per chunk.
+  double buffer = 10.0;
+  for (std::size_t k = 0; k < 20; ++k) {
+    (void)abr.choose_rate(make_obs(k, buffer, 0, cbr_video()));
+    buffer += 2.0;
+  }
+  // 19 increasing observations (the first has no predecessor).
+  EXPECT_NEAR(abr.outage_protection_s(), 19 * 0.4, 1e-9);
+}
+
+TEST(Bba1, OutageProtectionFrozenWhenBufferFallsOrHigh) {
+  Bba1Config cfg;
+  cfg.outage_protection = true;
+  Bba1 abr(cfg);
+  abr.reset();
+  // Falling buffer: no accrual.
+  double buffer = 100.0;
+  for (std::size_t k = 0; k < 10; ++k) {
+    (void)abr.choose_rate(make_obs(k, buffer, 0, cbr_video()));
+    buffer -= 2.0;
+  }
+  EXPECT_DOUBLE_EQ(abr.outage_protection_s(), 0.0);
+  // Rising but above 75% full: no accrual either.
+  buffer = 200.0;
+  for (std::size_t k = 10; k < 20; ++k) {
+    (void)abr.choose_rate(make_obs(k, buffer, 0, cbr_video()));
+    buffer += 2.0;
+  }
+  EXPECT_DOUBLE_EQ(abr.outage_protection_s(), 0.0);
+}
+
+TEST(Bba1, OutageProtectionIsCapped) {
+  Bba1Config cfg;
+  cfg.outage_protection = true;
+  cfg.outage_cap_s = 2.0;
+  Bba1 abr(cfg);
+  abr.reset();
+  double buffer = 10.0;
+  for (std::size_t k = 0; k < 50; ++k) {
+    (void)abr.choose_rate(make_obs(k, buffer, 0, cbr_video()));
+    buffer += 1.0;
+  }
+  EXPECT_DOUBLE_EQ(abr.outage_protection_s(), 2.0);
+}
+
+TEST(Bba1, OutageProtectionShiftsMapRight) {
+  // With protection accrued, the same buffer level maps to a lower rate.
+  Bba1Config with = {};
+  with.outage_protection = true;
+  Bba1 a(with);
+  a.reset();
+  double buffer = 10.0;
+  for (std::size_t k = 0; k < 100; ++k) {
+    (void)a.choose_rate(make_obs(k, buffer, 0, cbr_video()));
+    buffer += 1.0;
+  }
+  Bba1 b(no_outage_config());
+  b.reset();
+  const std::size_t protected_pick =
+      a.choose_rate(make_obs(100, 60.0, 3, cbr_video()));
+  const std::size_t plain_pick =
+      b.choose_rate(make_obs(100, 60.0, 3, cbr_video()));
+  EXPECT_LT(protected_pick, plain_pick);
+}
+
+TEST(Bba1, EffectiveReservoirKeepsMinimumCushion) {
+  Bba1Config cfg;
+  cfg.outage_protection = true;
+  cfg.outage_cap_s = 500.0;  // absurd, to hit the cushion clamp
+  cfg.min_cushion_s = 60.0;
+  Bba1 abr(cfg);
+  abr.reset();
+  double buffer = 10.0;
+  for (std::size_t k = 0; k < 399; ++k) {
+    (void)abr.choose_rate(make_obs(k, buffer, 0, cbr_video()));
+    buffer += 0.5;
+  }
+  // knee = 216; reservoir never exceeds 216 - 60 = 156.
+  EXPECT_LE(abr.effective_reservoir_s(), 156.0 + 1e-9);
+}
+
+TEST(Bba1, ResetClearsState) {
+  Bba1Config cfg;
+  cfg.outage_protection = true;
+  Bba1 abr(cfg);
+  abr.reset();
+  double buffer = 10.0;
+  for (std::size_t k = 0; k < 30; ++k) {
+    (void)abr.choose_rate(make_obs(k, buffer, 0, cbr_video()));
+    buffer += 2.0;
+  }
+  EXPECT_GT(abr.outage_protection_s(), 0.0);
+  abr.reset();
+  EXPECT_DOUBLE_EQ(abr.outage_protection_s(), 0.0);
+  EXPECT_DOUBLE_EQ(abr.effective_reservoir_s(), 8.0);
+}
+
+TEST(Bba1, FirstChunkUsesStartIndex) {
+  Bba1Config cfg = no_outage_config();
+  cfg.start_index = 0;
+  Bba1 abr(cfg);
+  abr.reset();
+  EXPECT_EQ(abr.choose_rate(make_obs(0, 0.0, 42, cbr_video())), 0u);
+}
+
+TEST(Bba1, NameIsStable) { EXPECT_EQ(Bba1().name(), "bba1"); }
+
+}  // namespace
+}  // namespace bba::core

@@ -1,0 +1,149 @@
+// Exhaustive consistency sweep of BBA-1's generalized Algorithm 1 (chunk
+// map + next-chunk barriers) against an independent transcription of
+// Sec. 5.2's prose, across previous-rate indices, buffer levels, and
+// chunk positions of a VBR title.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "abr/abr.hpp"
+#include "core/bba1.hpp"
+#include "core/chunk_map.hpp"
+#include "core/reservoir.hpp"
+#include "media/vbr.hpp"
+#include "media/video.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace bba::core {
+namespace {
+
+/// Sec. 5.2 transcribed independently: "the algorithm stays at the current
+/// video rate as long as the chunk size suggested by the map does not pass
+/// the size of the next upcoming chunk at the next highest available video
+/// rate (Rate+) or the next lowest available video rate (Rate-). If either
+/// of these barriers are passed, the rate is switched up or down" -- with
+/// the up/down selections inherited from Algorithm 1's max{}/min{} rules
+/// applied to chunk sizes.
+std::size_t reference_bba1(const media::Video& video, double reservoir_s,
+                           double knee_s, std::size_t prev, double buffer_s,
+                           std::size_t k) {
+  const auto& ladder = video.ladder();
+  const auto& chunks = video.chunks();
+  if (buffer_s <= reservoir_s) return ladder.min_index();
+  if (buffer_s >= knee_s) return ladder.max_index();
+  const ChunkMap map(reservoir_s, knee_s,
+                     chunks.mean_size_bits(ladder.min_index()),
+                     chunks.mean_size_bits(ladder.max_index()));
+  const double suggested = map.max_chunk_bits(buffer_s);
+
+  const std::size_t rate_plus = prev + 1 < ladder.size() ? prev + 1 : prev;
+  const std::size_t rate_minus = prev > 0 ? prev - 1 : prev;
+
+  if (rate_plus != prev && suggested >= chunks.size_bits(rate_plus, k)) {
+    // Switch up: the largest rate whose next chunk is strictly below the
+    // allowance, never below where we already are.
+    std::size_t pick = prev;
+    for (std::size_t i = 0; i < ladder.size(); ++i) {
+      if (chunks.size_bits(i, k) < suggested) pick = i;
+    }
+    return pick < prev ? prev : pick;
+  }
+  if (rate_minus != prev && suggested <= chunks.size_bits(rate_minus, k)) {
+    // Switch down: the smallest rate whose next chunk is strictly above
+    // the allowance, never above where we already are.
+    std::size_t pick = ladder.min_index();
+    for (std::size_t i = ladder.size(); i-- > 0;) {
+      if (chunks.size_bits(i, k) > suggested) pick = i;
+    }
+    return pick > prev ? prev : pick;
+  }
+  return prev;
+}
+
+class Bba1Sweep : public testing::Test {
+ protected:
+  Bba1Sweep() {
+    util::Rng rng(31);
+    video_ = std::make_unique<media::Video>(media::make_vbr_video(
+        "sweep", media::EncodingLadder::netflix_2013(), 400, 4.0,
+        media::VbrConfig{}, rng));
+  }
+
+  /// Drives a fresh (no-outage-protection) BBA-1 with one observation.
+  std::size_t run_bba1(std::size_t prev, double buffer_s, std::size_t k) {
+    Bba1Config cfg;
+    cfg.outage_protection = false;
+    Bba1 abr(cfg);
+    abr.reset();
+    abr::Observation obs;
+    obs.chunk_index = k;
+    obs.buffer_s = buffer_s;
+    obs.buffer_max_s = 240.0;
+    obs.prev_rate_index = prev;
+    obs.playing = true;
+    obs.video = video_.get();
+    return abr.choose_rate(obs);
+  }
+
+  /// The reservoir BBA-1 will compute for this decision.
+  double reservoir_at(std::size_t k) const {
+    const ReservoirConfig cfg;
+    return compute_reservoir_s(video_->chunks(),
+                               video_->ladder().min_index(),
+                               video_->ladder().rmin_bps(), k, cfg);
+  }
+
+  std::unique_ptr<media::Video> video_;
+};
+
+TEST_F(Bba1Sweep, MatchesProseTranscriptionAcrossTheCushion) {
+  long long checked = 0;
+  // k = 0 is excluded: for the first chunk BBA-1 substitutes its
+  // configured start_index for the (meaningless) previous rate.
+  for (std::size_t k = 1; k < 400; k += 13) {
+    const double reservoir = reservoir_at(k);
+    for (std::size_t prev = 0; prev < video_->ladder().size(); ++prev) {
+      for (double b = 0.0; b <= 240.0; b += 2.0) {
+        const std::size_t ours = run_bba1(prev, b, k);
+        const std::size_t ref =
+            reference_bba1(*video_, reservoir, 216.0, prev, b, k);
+        ASSERT_EQ(ours, ref)
+            << "k=" << k << " prev=" << prev << " b=" << b
+            << " reservoir=" << reservoir;
+        ++checked;
+      }
+    }
+  }
+  EXPECT_GT(checked, 30000);
+}
+
+TEST_F(Bba1Sweep, DecisionIsMonotoneInBufferForFixedPrev) {
+  // For any fixed chunk and previous rate, a larger buffer never yields a
+  // lower pick (the chunk map is monotone and the barriers preserve it).
+  for (std::size_t k = 1; k < 400; k += 37) {
+    for (std::size_t prev = 0; prev < video_->ladder().size(); ++prev) {
+      std::size_t last = run_bba1(prev, 0.0, k);
+      for (double b = 1.0; b <= 240.0; b += 1.0) {
+        const std::size_t pick = run_bba1(prev, b, k);
+        ASSERT_GE(pick, last) << "k=" << k << " prev=" << prev
+                              << " b=" << b;
+        last = pick;
+      }
+    }
+  }
+}
+
+TEST_F(Bba1Sweep, PinsAtReservoirAndKneeForEveryChunk) {
+  for (std::size_t k = 1; k < 400; k += 7) {
+    const double reservoir = reservoir_at(k);
+    for (std::size_t prev = 0; prev < video_->ladder().size(); ++prev) {
+      EXPECT_EQ(run_bba1(prev, reservoir - 0.5, k),
+                video_->ladder().min_index());
+      EXPECT_EQ(run_bba1(prev, 216.0, k), video_->ladder().max_index());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bba::core

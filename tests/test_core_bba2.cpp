@@ -1,0 +1,180 @@
+// Tests for BBA-2: the startup Delta-B ramp, its linearly decaying
+// threshold, the exit conditions, and the handoff to BBA-1 steady state.
+#include <gtest/gtest.h>
+
+#include "abr/abr.hpp"
+#include "core/bba2.hpp"
+#include "media/video.hpp"
+#include "util/units.hpp"
+
+namespace bba::core {
+namespace {
+
+using util::kbps;
+
+const media::Video& cbr_video() {
+  static const media::Video v = media::make_cbr_video(
+      "cbr", media::EncodingLadder::netflix_2013(), 400, 4.0);
+  return v;
+}
+
+abr::Observation make_obs(std::size_t chunk, double buffer_s,
+                          std::size_t prev, double last_dl_s) {
+  abr::Observation obs;
+  obs.chunk_index = chunk;
+  obs.buffer_s = buffer_s;
+  obs.buffer_max_s = 240.0;
+  obs.now_s = 4.0 * static_cast<double>(chunk);
+  obs.prev_rate_index = prev;
+  obs.last_throughput_bps = last_dl_s > 0.0 ? kbps(940) * 4.0 / last_dl_s
+                                            : 0.0;
+  obs.last_download_s = last_dl_s;
+  obs.delta_buffer_s = last_dl_s > 0.0 ? 4.0 - last_dl_s : 0.0;
+  obs.playing = chunk > 0;
+  obs.video = &cbr_video();
+  return obs;
+}
+
+TEST(Bba2, ThresholdDecaysLinearly) {
+  Bba2 abr;
+  abr.reset();
+  // 0.875 * V at empty buffer, 0.5 * V at the knee (216 s), linear.
+  EXPECT_NEAR(abr.startup_threshold_s(0.0, 240.0, 4.0), 3.5, 1e-12);
+  EXPECT_NEAR(abr.startup_threshold_s(216.0, 240.0, 4.0), 2.0, 1e-12);
+  EXPECT_NEAR(abr.startup_threshold_s(108.0, 240.0, 4.0), 2.75, 1e-12);
+  // Saturates past the knee.
+  EXPECT_NEAR(abr.startup_threshold_s(240.0, 240.0, 4.0), 2.0, 1e-12);
+}
+
+TEST(Bba2, StartsInStartupAtRmin) {
+  Bba2 abr;
+  abr.reset();
+  EXPECT_TRUE(abr.in_startup());
+  EXPECT_EQ(abr.choose_rate(make_obs(0, 0.0, 0, 0.0)), 0u);
+  EXPECT_TRUE(abr.in_startup());
+}
+
+TEST(Bba2, StepsUpWhenChunkDownloadsEightTimesFaster) {
+  Bba2 abr;
+  abr.reset();
+  (void)abr.choose_rate(make_obs(0, 0.0, 0, 0.0));
+  // Delta-B = 4 - 0.4 = 3.6 > 3.5 (empty-buffer threshold) -> step up.
+  EXPECT_EQ(abr.choose_rate(make_obs(1, 3.6, 0, 0.4)), 1u);
+  EXPECT_TRUE(abr.in_startup());
+}
+
+TEST(Bba2, HoldsWhenDownloadOnlySlightlyFaster) {
+  Bba2 abr;
+  abr.reset();
+  (void)abr.choose_rate(make_obs(0, 0.0, 0, 0.0));
+  // Delta-B = 4 - 1.0 = 3.0 < 3.5 -> hold at R_min.
+  EXPECT_EQ(abr.choose_rate(make_obs(1, 3.0, 0, 1.0)), 0u);
+  EXPECT_TRUE(abr.in_startup());
+}
+
+TEST(Bba2, StepsOneRateAtATime) {
+  Bba2 abr;
+  abr.reset();
+  (void)abr.choose_rate(make_obs(0, 0.0, 0, 0.0));
+  // Even an instant download steps exactly one rung.
+  EXPECT_EQ(abr.choose_rate(make_obs(1, 4.0, 0, 0.01)), 1u);
+  EXPECT_EQ(abr.choose_rate(make_obs(2, 7.9, 1, 0.01)), 2u);
+  EXPECT_EQ(abr.choose_rate(make_obs(3, 11.8, 2, 0.01)), 3u);
+}
+
+TEST(Bba2, LowerThresholdAsBufferGrows) {
+  Bba2 abr;
+  abr.reset();
+  (void)abr.choose_rate(make_obs(0, 0.0, 0, 0.0));
+  // Delta-B = 3.0: not enough at a 30 s buffer (threshold ~3.29)...
+  EXPECT_EQ(abr.choose_rate(make_obs(1, 30.0, 2, 1.0)), 2u);
+  EXPECT_TRUE(abr.in_startup());
+  // ...but enough at 120 s (threshold ~2.67). prev = 2350 keeps the map
+  // suggestion at or below the current rate so the ramp stays in charge.
+  EXPECT_EQ(abr.choose_rate(make_obs(2, 120.0, 6, 1.0)), 7u);
+  EXPECT_TRUE(abr.in_startup());
+}
+
+TEST(Bba2, ExitsStartupWhenBufferDecreases) {
+  Bba2 abr;
+  abr.reset();
+  (void)abr.choose_rate(make_obs(0, 0.0, 0, 0.0));
+  // Buffer 10 s keeps the map suggestion at R_min, so the ramp stays on.
+  (void)abr.choose_rate(make_obs(1, 10.0, 0, 0.4));
+  EXPECT_TRUE(abr.in_startup());
+  // The buffer fell from 10 to 9: exit and follow the chunk map.
+  (void)abr.choose_rate(make_obs(2, 9.0, 1, 5.0));
+  EXPECT_FALSE(abr.in_startup());
+}
+
+TEST(Bba2, ExitsStartupWhenMapSuggestsHigherRate) {
+  Bba2 abr;
+  abr.reset();
+  (void)abr.choose_rate(make_obs(0, 0.0, 0, 0.0));
+  // Buffer 100 s: the CBR chunk map suggests far above R_min while the
+  // ramp is still at index 0 -> exit startup and take the map's rate.
+  const std::size_t pick = abr.choose_rate(make_obs(1, 100.0, 0, 0.4));
+  EXPECT_FALSE(abr.in_startup());
+  EXPECT_GT(pick, 1u);  // multi-step map jump, not a single ramp rung
+}
+
+TEST(Bba2, StaysExitedOnceOut) {
+  Bba2 abr;
+  abr.reset();
+  (void)abr.choose_rate(make_obs(0, 0.0, 0, 0.0));
+  (void)abr.choose_rate(make_obs(1, 100.0, 0, 0.4));
+  EXPECT_FALSE(abr.in_startup());
+  // Even a very fast chunk no longer triggers ramp behaviour; the choice
+  // comes from the chunk map (buffer 7 s <= 8 s reservoir -> R_min).
+  EXPECT_EQ(abr.choose_rate(make_obs(2, 7.0, 3, 0.01)), 0u);
+  EXPECT_FALSE(abr.in_startup());
+}
+
+TEST(Bba2, ResetRestoresStartup) {
+  Bba2 abr;
+  abr.reset();
+  (void)abr.choose_rate(make_obs(0, 0.0, 0, 0.0));
+  (void)abr.choose_rate(make_obs(1, 100.0, 0, 0.4));
+  EXPECT_FALSE(abr.in_startup());
+  abr.reset();
+  EXPECT_TRUE(abr.in_startup());
+}
+
+TEST(Bba2, CustomThresholdsApply) {
+  Bba2Config cfg;
+  cfg.threshold_at_empty = 0.6;
+  cfg.threshold_at_knee = 0.3;
+  Bba2 abr(cfg);
+  abr.reset();
+  EXPECT_NEAR(abr.startup_threshold_s(0.0, 240.0, 4.0), 2.4, 1e-12);
+  (void)abr.choose_rate(make_obs(0, 0.0, 0, 0.0));
+  // Delta-B = 3.0 > 2.4 -> steps up under the laxer thresholds.
+  EXPECT_EQ(abr.choose_rate(make_obs(1, 3.0, 0, 1.0)), 1u);
+}
+
+TEST(Bba2, NoOutageAccrualDuringStartup) {
+  Bba2Config cfg;
+  cfg.base.outage_protection = true;
+  Bba2 abr(cfg);
+  abr.reset();
+  (void)abr.choose_rate(make_obs(0, 0.0, 0, 0.0));
+  double buffer = 3.0;
+  for (std::size_t k = 1; k < 10; ++k) {
+    // Slow but rising buffer: stays in startup (no decrease, map below).
+    (void)abr.choose_rate(make_obs(k, buffer, 0, 3.0));
+    buffer += 0.5;
+  }
+  EXPECT_TRUE(abr.in_startup());
+  EXPECT_DOUBLE_EQ(abr.outage_protection_s(), 0.0);
+  // Force an exit; accrual begins afterwards.
+  (void)abr.choose_rate(make_obs(10, buffer - 1.0, 0, 3.0));
+  EXPECT_FALSE(abr.in_startup());
+  (void)abr.choose_rate(make_obs(11, buffer, 0, 3.0));
+  (void)abr.choose_rate(make_obs(12, buffer + 1.0, 0, 3.0));
+  EXPECT_GT(abr.outage_protection_s(), 0.0);
+}
+
+TEST(Bba2, NameIsStable) { EXPECT_EQ(Bba2().name(), "bba2"); }
+
+}  // namespace
+}  // namespace bba::core

@@ -1,0 +1,130 @@
+// Tests for the shaped rate-map families and the generalized Algorithm 1.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/bba0.hpp"
+#include "core/map_families.hpp"
+#include "media/video.hpp"
+#include "net/trace_gen.hpp"
+#include "sim/metrics.hpp"
+#include "sim/player.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace bba::core {
+namespace {
+
+using util::kbps;
+using util::mbps;
+
+constexpr MapShape kAllShapes[] = {MapShape::kLinear, MapShape::kQuadratic,
+                                   MapShape::kLogarithmic};
+
+TEST(ShapedRateMap, AllFamiliesSatisfyTheDesignCriteria) {
+  for (MapShape shape : kAllShapes) {
+    const ShapedRateMap map(shape, 90.0, 126.0, kbps(235), kbps(5000));
+    EXPECT_TRUE(map.satisfies_design_criteria()) << map_shape_name(shape);
+  }
+}
+
+TEST(ShapedRateMap, PinnedEndsForEveryFamily) {
+  for (MapShape shape : kAllShapes) {
+    const ShapedRateMap map(shape, 50.0, 100.0, kbps(235), kbps(5000));
+    EXPECT_DOUBLE_EQ(map.rate_at_bps(0.0), kbps(235));
+    EXPECT_DOUBLE_EQ(map.rate_at_bps(50.0), kbps(235));
+    EXPECT_DOUBLE_EQ(map.rate_at_bps(150.0), kbps(5000));
+    EXPECT_DOUBLE_EQ(map.rate_at_bps(240.0), kbps(5000));
+  }
+}
+
+TEST(ShapedRateMap, ShapesOrderAsDocumented) {
+  // In the interior of the cushion: quadratic < linear < logarithmic.
+  const ShapedRateMap lin(MapShape::kLinear, 90.0, 126.0, kbps(235),
+                          kbps(5000));
+  const ShapedRateMap quad(MapShape::kQuadratic, 90.0, 126.0, kbps(235),
+                           kbps(5000));
+  const ShapedRateMap log(MapShape::kLogarithmic, 90.0, 126.0, kbps(235),
+                          kbps(5000));
+  for (double b = 100.0; b < 210.0; b += 10.0) {
+    EXPECT_LT(quad.rate_at_bps(b), lin.rate_at_bps(b)) << b;
+    EXPECT_GT(log.rate_at_bps(b), lin.rate_at_bps(b)) << b;
+  }
+}
+
+TEST(ShapedRateMap, LinearMatchesRateMap) {
+  const ShapedRateMap shaped(MapShape::kLinear, 90.0, 126.0, kbps(235),
+                             kbps(5000));
+  const RateMap plain = RateMap::bba0_default(kbps(235), kbps(5000));
+  for (double b = 0.0; b <= 240.0; b += 0.5) {
+    EXPECT_NEAR(shaped.rate_at_bps(b), plain.rate_at_bps(b), 1e-9) << b;
+  }
+}
+
+TEST(ShapedBba, LinearShapeReproducesBba0) {
+  const media::Video video = media::make_cbr_video(
+      "t", media::EncodingLadder::netflix_2013(), 100, 4.0);
+  ShapedBba shaped(MapShape::kLinear);
+  Bba0 stock;
+  for (double b = 0.0; b <= 240.0; b += 1.0) {
+    for (std::size_t prev = 0; prev < video.ladder().size(); ++prev) {
+      abr::Observation obs;
+      obs.chunk_index = 5;
+      obs.buffer_s = b;
+      obs.buffer_max_s = 240.0;
+      obs.prev_rate_index = prev;
+      obs.video = &video;
+      ASSERT_EQ(shaped.choose_rate(obs), stock.choose_rate(obs))
+          << "b=" << b << " prev=" << prev;
+    }
+  }
+}
+
+TEST(ShapedBba, QuadraticIsMoreConservativeMidCushion) {
+  const media::Video video = media::make_cbr_video(
+      "t", media::EncodingLadder::netflix_2013(), 100, 4.0);
+  ShapedBba quad(MapShape::kQuadratic);
+  ShapedBba log(MapShape::kLogarithmic);
+  abr::Observation obs;
+  obs.chunk_index = 5;
+  obs.buffer_s = 150.0;
+  obs.buffer_max_s = 240.0;
+  obs.prev_rate_index = 0;
+  obs.video = &video;
+  EXPECT_LT(quad.choose_rate(obs), log.choose_rate(obs));
+}
+
+// The Sec. 3 theorem, end to end, for every family.
+class ShapedNoRebuffer
+    : public testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ShapedNoRebuffer, HoldsOnRandomTraces) {
+  const auto [shape_index, seed] = GetParam();
+  const MapShape shape = kAllShapes[shape_index];
+  const media::Video video = media::make_cbr_video(
+      "t", media::EncodingLadder::netflix_2013(), 900, 4.0);
+  util::Rng rng(static_cast<std::uint64_t>(seed) + 5000);
+  net::MarkovTraceConfig cfg;
+  cfg.median_bps = rng.uniform(2.0, 10.0) * video.ladder().rmin_bps();
+  cfg.sigma_log = rng.uniform(0.3, 1.2);
+  cfg.min_bps = 1.05 * video.ladder().rmin_bps();
+  const net::CapacityTrace trace = net::make_markov_trace(cfg, rng);
+  ShapedBba abr(shape);
+  sim::PlayerConfig player;
+  player.watch_duration_s = util::minutes(45);
+  const sim::SessionResult result =
+      sim::simulate_session(video, trace, abr, player);
+  EXPECT_TRUE(result.rebuffers.empty()) << map_shape_name(shape);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, ShapedNoRebuffer,
+    testing::Combine(testing::Range(0, 3), testing::Range(0, 6)),
+    [](const testing::TestParamInfo<ShapedNoRebuffer::ParamType>& info) {
+      return std::string(map_shape_name(
+                 kAllShapes[std::get<0>(info.param)])) +
+             "_seed" + std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace bba::core

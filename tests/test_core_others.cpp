@@ -1,0 +1,173 @@
+// Tests for BBA-Others: lookahead up-switch smoothing (Sec. 7.2) and the
+// right-shift-only chunk map.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "abr/abr.hpp"
+#include "core/bba_others.hpp"
+#include "media/vbr.hpp"
+#include "media/video.hpp"
+#include "util/units.hpp"
+
+namespace bba::core {
+namespace {
+
+using util::kbps;
+
+/// A video that is CBR except for one under-sized chunk followed by a run
+/// of over-sized chunks -- the exact Fig. 21 flap trigger.
+media::Video flap_video() {
+  const media::EncodingLadder ladder = media::EncodingLadder::netflix_2013();
+  std::vector<double> complexity(400, 1.0);
+  complexity[50] = 0.5;  // small chunk: the naive map steps up here
+  for (std::size_t k = 51; k < 58; ++k) complexity[k] = 1.8;  // then big
+  return media::Video("flap", ladder,
+                      media::make_vbr_table(ladder, complexity, 4.0));
+}
+
+abr::Observation make_obs(std::size_t chunk, double buffer_s,
+                          std::size_t prev, const media::Video& video) {
+  abr::Observation obs;
+  obs.chunk_index = chunk;
+  obs.buffer_s = buffer_s;
+  obs.buffer_max_s = 240.0;
+  obs.now_s = 4.0 * static_cast<double>(chunk);
+  obs.prev_rate_index = prev;
+  obs.last_throughput_bps = kbps(3000);
+  obs.last_download_s = 2.0;
+  obs.delta_buffer_s = 0.0;  // steady buffer: no startup stepping
+  obs.playing = true;
+  obs.video = &video;
+  return obs;
+}
+
+/// Drives the algorithm out of startup deterministically.
+void exit_startup(Bba2& abr, const media::Video& video) {
+  (void)abr.choose_rate(make_obs(0, 0.0, 0, video));
+  (void)abr.choose_rate(make_obs(1, 30.0, 0, video));
+  (void)abr.choose_rate(make_obs(2, 29.0, 0, video));  // buffer decreased
+  ASSERT_FALSE(abr.in_startup());
+}
+
+TEST(BbaOthers, LookaheadWindowScalesWithBuffer) {
+  BbaOthers abr;
+  EXPECT_EQ(abr.lookahead_chunks(0.0, 4.0), 1u);
+  EXPECT_EQ(abr.lookahead_chunks(3.9, 4.0), 1u);
+  EXPECT_EQ(abr.lookahead_chunks(40.0, 4.0), 10u);
+  EXPECT_EQ(abr.lookahead_chunks(240.0, 4.0), 60u);
+  EXPECT_EQ(abr.lookahead_chunks(1000.0, 4.0), 60u);
+}
+
+TEST(BbaOthers, DefaultsEnableSec7Mechanisms) {
+  const BbaOthersConfig cfg = BbaOthers::defaults();
+  EXPECT_TRUE(cfg.base.base.monotone_reservoir);
+  EXPECT_TRUE(cfg.base.base.outage_protection);
+}
+
+TEST(BbaOthers, HoldsUpSwitchBeforeBigChunks) {
+  const media::Video video = flap_video();
+  // BBA-2 (no smoothing) steps up at the small chunk 50; BBA-Others sees
+  // the big chunks coming inside its lookahead window and holds.
+  Bba2 plain;
+  plain.reset();
+  exit_startup(plain, video);
+  BbaOthers smooth(
+      [] {
+        BbaOthersConfig cfg = BbaOthers::defaults();
+        cfg.base.base.monotone_reservoir = false;  // isolate the lookahead
+        cfg.base.base.outage_protection = false;
+        return cfg;
+      }());
+  smooth.reset();
+  exit_startup(smooth, video);
+
+  // Buffer chosen so the map allows one step up for the small chunk but
+  // not for the following big ones.
+  const double buffer = 40.0;
+  const std::size_t prev = 2;
+  const std::size_t plain_pick =
+      plain.choose_rate(make_obs(50, buffer, prev, video));
+  const std::size_t smooth_pick =
+      smooth.choose_rate(make_obs(50, buffer, prev, video));
+  EXPECT_GT(plain_pick, prev);
+  EXPECT_EQ(smooth_pick, prev);
+}
+
+TEST(BbaOthers, AcceptsUpSwitchWhenWindowIsClear) {
+  // Pure CBR: the lookahead window is identical to the next chunk, so
+  // smoothing never blocks a justified up-switch.
+  const media::Video video = media::make_cbr_video(
+      "cbr", media::EncodingLadder::netflix_2013(), 400, 4.0);
+  BbaOthers smooth(
+      [] {
+        BbaOthersConfig cfg = BbaOthers::defaults();
+        cfg.base.base.monotone_reservoir = false;
+        cfg.base.base.outage_protection = false;
+        return cfg;
+      }());
+  smooth.reset();
+  exit_startup(smooth, video);
+  // Buffer 150 s: the map allows a multi-step up (see BBA-1 tests).
+  EXPECT_GT(smooth.choose_rate(make_obs(10, 150.0, 4, video)), 4u);
+}
+
+TEST(BbaOthers, DownSwitchesAreNeverSmoothed) {
+  const media::Video video = flap_video();
+  BbaOthers smooth;
+  smooth.reset();
+  exit_startup(smooth, video);
+  // At a low buffer with a high previous rate, the down-switch fires
+  // immediately regardless of lookahead.
+  const std::size_t pick = smooth.choose_rate(make_obs(10, 30.0, 7, video));
+  EXPECT_LT(pick, 7u);
+}
+
+TEST(BbaOthers, LookaheadTruncatesAtVideoEnd) {
+  // Decisions near the last chunk must not read past the table.
+  const media::Video video = flap_video();
+  BbaOthers smooth;
+  smooth.reset();
+  exit_startup(smooth, video);
+  const std::size_t last = video.num_chunks() - 1;
+  const std::size_t pick =
+      smooth.choose_rate(make_obs(last, 200.0, 3, video));
+  EXPECT_LT(pick, video.ladder().size());
+}
+
+TEST(BbaOthers, SmoothingReducesSwitchesOnOscillatingContent) {
+  // Alternating small/large chunks at a constant buffer: BBA-2 flaps,
+  // BBA-Others holds.
+  const media::EncodingLadder ladder = media::EncodingLadder::netflix_2013();
+  std::vector<double> complexity(400);
+  for (std::size_t k = 0; k < 400; ++k) {
+    complexity[k] = (k % 2 == 0) ? 0.7 : 1.4;
+  }
+  const media::Video video("osc", ladder,
+                           media::make_vbr_table(ladder, complexity, 4.0));
+  auto count_switches = [&](Bba2& abr) {
+    abr.reset();
+    exit_startup(abr, video);
+    std::size_t prev = 2;
+    int switches = 0;
+    for (std::size_t k = 10; k < 300; ++k) {
+      const std::size_t pick =
+          abr.choose_rate(make_obs(k, 100.0, prev, video));
+      if (pick != prev) ++switches;
+      prev = pick;
+    }
+    return switches;
+  };
+  Bba2 plain;
+  BbaOthers smooth;
+  const int plain_switches = count_switches(plain);
+  const int smooth_switches = count_switches(smooth);
+  EXPECT_LT(smooth_switches, plain_switches);
+}
+
+TEST(BbaOthers, NameIsStable) {
+  EXPECT_EQ(BbaOthers().name(), "bba-others");
+}
+
+}  // namespace
+}  // namespace bba::core

@@ -1,0 +1,371 @@
+// End-to-end property tests across the whole stack: the Sec. 3 theorems
+// driven through the real player on randomized traces and titles
+// (parameterized sweeps), plus the paper's headline scenarios.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <string>
+#include <tuple>
+
+#include "abr/baselines.hpp"
+#include "abr/control.hpp"
+#include "core/bba0.hpp"
+#include "core/bba1.hpp"
+#include "core/bba2.hpp"
+#include "core/bba_others.hpp"
+#include "media/video.hpp"
+#include "net/trace_gen.hpp"
+#include "sim/metrics.hpp"
+#include "sim/player.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace bba {
+namespace {
+
+using util::kbps;
+using util::mbps;
+
+std::unique_ptr<abr::RateAdaptation> make_algorithm(const std::string& name) {
+  if (name == "bba0") return std::make_unique<core::Bba0>();
+  if (name == "bba1") return std::make_unique<core::Bba1>();
+  if (name == "bba2") return std::make_unique<core::Bba2>();
+  if (name == "bba-others") return std::make_unique<core::BbaOthers>();
+  if (name == "control") return std::make_unique<abr::ControlAbr>();
+  if (name == "rmin") return std::make_unique<abr::RMinAlways>();
+  ADD_FAILURE() << "unknown algorithm " << name;
+  return std::make_unique<abr::RMinAlways>();
+}
+
+/// Random capacity trace whose minimum never falls below `floor_bps`.
+net::CapacityTrace random_trace_above(double floor_bps, std::uint64_t seed) {
+  util::Rng rng(seed);
+  net::MarkovTraceConfig cfg;
+  cfg.median_bps = rng.uniform(2.0, 12.0) * floor_bps;
+  cfg.sigma_log = rng.uniform(0.3, 1.3);
+  cfg.min_bps = floor_bps;
+  cfg.mean_dwell_s = rng.uniform(5.0, 30.0);
+  return net::make_markov_trace(cfg, rng);
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 1 (Sec. 3.1): no unnecessary rebuffering. With CBR content and
+// C(t) >= R_min at all times, a buffer-based algorithm whose map pins to
+// R_min near empty never rebuffers after startup.
+// ---------------------------------------------------------------------------
+
+class NoUnnecessaryRebuffer
+    : public testing::TestWithParam<std::tuple<std::string, int>> {};
+
+TEST_P(NoUnnecessaryRebuffer, CbrNeverStalls) {
+  const auto [name, seed] = GetParam();
+  const media::Video video = media::make_cbr_video(
+      "cbr", media::EncodingLadder::netflix_2013(), 900, 4.0);
+  const net::CapacityTrace trace = random_trace_above(
+      1.05 * video.ladder().rmin_bps(), static_cast<std::uint64_t>(seed));
+  auto algorithm = make_algorithm(name);
+  sim::PlayerConfig player;
+  player.watch_duration_s = util::minutes(45);
+  const sim::SessionResult result =
+      sim::simulate_session(video, trace, *algorithm, player);
+  EXPECT_TRUE(result.rebuffers.empty())
+      << name << " stalled on a trace with C(t) >= 1.05 R_min (seed "
+      << seed << ")";
+  EXPECT_FALSE(result.abandoned);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BufferBasedFamily, NoUnnecessaryRebuffer,
+    testing::Combine(testing::Values("bba0", "bba1", "bba-others", "rmin"),
+                     testing::Range(0, 12)),
+    [](const testing::TestParamInfo<NoUnnecessaryRebuffer::ParamType>& info) {
+      std::string name = std::get<0>(info.param) + "_seed" +
+                         std::to_string(std::get<1>(info.param));
+      std::replace(name.begin(), name.end(), '-', '_');
+      return name;
+    });
+
+// Under VBR the guarantee needs headroom for the worst chunk (max/avg
+// ratio e): C(t) >= e * R_min suffices for the safe-area algorithms.
+class NoUnnecessaryRebufferVbr
+    : public testing::TestWithParam<std::tuple<std::string, int>> {};
+
+TEST_P(NoUnnecessaryRebufferVbr, VbrNeverStallsWithHeadroom) {
+  const auto [name, seed] = GetParam();
+  util::Rng vrng(static_cast<std::uint64_t>(seed) + 1000);
+  const media::Video video = media::make_vbr_video(
+      "vbr", media::EncodingLadder::netflix_2013(), 900, 4.0,
+      media::VbrConfig{}, vrng);
+  const double e = video.chunks().max_to_avg_ratio(0);
+  const net::CapacityTrace trace = random_trace_above(
+      1.05 * e * video.ladder().rmin_bps(),
+      static_cast<std::uint64_t>(seed));
+  auto algorithm = make_algorithm(name);
+  sim::PlayerConfig player;
+  player.watch_duration_s = util::minutes(45);
+  const sim::SessionResult result =
+      sim::simulate_session(video, trace, *algorithm, player);
+  EXPECT_TRUE(result.rebuffers.empty())
+      << name << " stalled under VBR with C(t) >= 1.05 e R_min (seed "
+      << seed << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BufferBasedFamily, NoUnnecessaryRebufferVbr,
+    testing::Combine(testing::Values("bba0", "bba1", "bba-others", "rmin"),
+                     testing::Range(0, 12)),
+    [](const testing::TestParamInfo<NoUnnecessaryRebufferVbr::ParamType>&
+           info) {
+      std::string name = std::get<0>(info.param) + "_seed" +
+                         std::to_string(std::get<1>(info.param));
+      std::replace(name.begin(), name.end(), '-', '_');
+      return name;
+    });
+
+// ---------------------------------------------------------------------------
+// Theorem 2 (Sec. 3.1): average-rate maximization. With R_min < C(t) <
+// R_max and enough time, the buffer-based algorithms deliver an average
+// rate close to the average capacity.
+// ---------------------------------------------------------------------------
+
+class RateMaximization : public testing::TestWithParam<std::string> {};
+
+TEST_P(RateMaximization, SteadyRateTracksConstantCapacity) {
+  const std::string name = GetParam();
+  const media::Video video = media::make_cbr_video(
+      "cbr", media::EncodingLadder::netflix_2013(), 2000, 4.0);
+  for (double capacity_kbps : {800.0, 1500.0, 2800.0, 4200.0}) {
+    const net::CapacityTrace trace =
+        net::CapacityTrace::constant(kbps(capacity_kbps));
+    auto algorithm = make_algorithm(name);
+    sim::PlayerConfig player;
+    player.watch_duration_s = util::minutes(90);
+    const sim::SessionMetrics m = sim::compute_metrics(
+        sim::simulate_session(video, trace, *algorithm, player));
+    // Steady-state delivered rate within [next rate below, capacity]:
+    // quantization forbids exact equality.
+    const auto& ladder = video.ladder();
+    const double lower =
+        ladder.rate_bps(ladder.down(ladder.highest_not_above(
+            kbps(capacity_kbps))));
+    EXPECT_GE(m.steady_rate_bps, lower * 0.98)
+        << name << " at " << capacity_kbps;
+    EXPECT_LE(m.steady_rate_bps, kbps(capacity_kbps) * 1.001)
+        << name << " at " << capacity_kbps;
+    EXPECT_EQ(m.rebuffer_count, 0) << name << " at " << capacity_kbps;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BufferBasedFamily, RateMaximization,
+                         testing::Values("bba0", "bba1", "bba2",
+                                         "bba-others"),
+                         [](const testing::TestParamInfo<std::string>& info) {
+                           std::string name = info.param;
+                           std::replace(name.begin(), name.end(), '-', '_');
+                           return name;
+                         });
+
+// ---------------------------------------------------------------------------
+// The Fig. 4 case study as a regression test.
+// ---------------------------------------------------------------------------
+
+TEST(Fig4Scenario, BbaFamilyRidesOutTheDrop) {
+  const media::Video video = media::make_cbr_video(
+      "cbr", media::EncodingLadder::netflix_2013(), 900, 4.0);
+  const net::CapacityTrace trace =
+      net::make_step_trace(mbps(5), kbps(350), 25.0);
+  sim::PlayerConfig player;
+  player.watch_duration_s = util::minutes(20);
+  for (const char* name : {"bba0", "bba1", "bba2", "bba-others"}) {
+    auto algorithm = make_algorithm(name);
+    const sim::SessionResult result =
+        sim::simulate_session(video, trace, *algorithm, player);
+    EXPECT_TRUE(result.rebuffers.empty()) << name;
+    EXPECT_NEAR(result.played_s, util::minutes(20), 1e-6) << name;
+  }
+}
+
+TEST(Fig4Scenario, LegacyEstimatorClientStalls) {
+  const media::Video video = media::make_cbr_video(
+      "cbr", media::EncodingLadder::netflix_2013(), 900, 4.0);
+  const net::CapacityTrace trace =
+      net::make_step_trace(mbps(5), kbps(350), 25.0);
+  abr::ControlConfig legacy;
+  legacy.estimator_window = 8;
+  legacy.f_at_empty = 0.5;
+  legacy.last_sample_cap = 1e9;
+  abr::ControlAbr control(legacy);
+  sim::PlayerConfig player;
+  player.watch_duration_s = util::minutes(20);
+  const sim::SessionResult result =
+      sim::simulate_session(video, trace, control, player);
+  EXPECT_GE(result.rebuffers.size(), 1u);
+  double stall = 0.0;
+  for (const auto& rb : result.rebuffers) stall += rb.duration_s;
+  EXPECT_GE(stall, 20.0);
+}
+
+// ---------------------------------------------------------------------------
+// Steady-state superiority (Fig. 18's mechanism): on a variable trace the
+// buffer-based algorithm sustains a higher steady-state rate than the
+// capacity-estimation Control.
+// ---------------------------------------------------------------------------
+
+TEST(SteadyState, BbaBeatsControlOnVariableTrace) {
+  util::Rng rng(77);
+  double bba_total = 0.0;
+  double control_total = 0.0;
+  for (int i = 0; i < 10; ++i) {
+    net::MarkovTraceConfig cfg;
+    cfg.median_bps = mbps(3);
+    cfg.sigma_log = 1.0;
+    cfg.min_bps = kbps(500);
+    util::Rng trng = rng.fork(static_cast<unsigned>(i));
+    const net::CapacityTrace trace = net::make_markov_trace(cfg, trng);
+    util::Rng vrng = rng.fork(1000 + static_cast<unsigned>(i));
+    const media::Video video = media::make_vbr_video(
+        "vbr", media::EncodingLadder::netflix_2013(), 900, 4.0,
+        media::VbrConfig{}, vrng);
+    sim::PlayerConfig player;
+    player.watch_duration_s = util::minutes(40);
+    core::Bba2 bba;
+    abr::ControlAbr control;
+    bba_total += sim::compute_metrics(
+                     sim::simulate_session(video, trace, bba, player))
+                     .steady_rate_bps;
+    control_total += sim::compute_metrics(
+                         sim::simulate_session(video, trace, control, player))
+                         .steady_rate_bps;
+  }
+  EXPECT_GT(bba_total, control_total);
+}
+
+// ---------------------------------------------------------------------------
+// ON-OFF behaviour (Sec. 8): with the buffer full, BBA requests R_max, so
+// the OFF pattern appears only when capacity exceeds R_max.
+// ---------------------------------------------------------------------------
+
+TEST(OnOff, BbaRequestsRmaxWhenBufferFull) {
+  const media::Video video = media::make_cbr_video(
+      "cbr", media::EncodingLadder::netflix_2013(), 900, 4.0);
+  const net::CapacityTrace trace = net::CapacityTrace::constant(mbps(40));
+  core::Bba0 bba;
+  sim::PlayerConfig player;
+  player.watch_duration_s = util::minutes(30);
+  const sim::SessionResult result =
+      sim::simulate_session(video, trace, bba, player);
+  // Once in OFF mode, every request is for R_max.
+  bool saw_off = false;
+  for (const auto& c : result.chunks) {
+    if (c.off_wait_s > 0.0) {
+      saw_off = true;
+      EXPECT_EQ(c.rate_index, video.ladder().max_index());
+    }
+  }
+  EXPECT_TRUE(saw_off);
+}
+
+// ---------------------------------------------------------------------------
+// Outage protection (Sec. 7.1): with protection, BBA-Others bridges
+// repeated 25-35 s outages better than an unprotected BBA-1.
+// ---------------------------------------------------------------------------
+
+TEST(OutageProtection, ReducesStallsUnderOutages) {
+  util::Rng rng(31);
+  long long with_protection = 0;
+  long long without_protection = 0;
+  for (int i = 0; i < 8; ++i) {
+    net::MarkovTraceConfig cfg;
+    cfg.median_bps = mbps(4);
+    cfg.sigma_log = 0.5;
+    net::OutageConfig outages;
+    outages.mean_interval_s = 240.0;
+    util::Rng t1 = rng.fork(static_cast<unsigned>(i));
+    const net::CapacityTrace trace =
+        net::with_outages(net::make_markov_trace(cfg, t1), outages, t1);
+    util::Rng vrng = rng.fork(500 + static_cast<unsigned>(i));
+    const media::Video video = media::make_vbr_video(
+        "vbr", media::EncodingLadder::netflix_2013(), 900, 4.0,
+        media::VbrConfig{}, vrng);
+    sim::PlayerConfig player;
+    player.watch_duration_s = util::minutes(40);
+
+    core::Bba1Config unprotected;
+    unprotected.outage_protection = false;
+    core::Bba1 plain(unprotected);
+    core::BbaOthers guarded;
+    without_protection +=
+        sim::compute_metrics(
+            sim::simulate_session(video, trace, plain, player))
+            .rebuffer_count;
+    with_protection +=
+        sim::compute_metrics(
+            sim::simulate_session(video, trace, guarded, player))
+            .rebuffer_count;
+  }
+  EXPECT_LE(with_protection, without_protection);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism of a full experiment stack.
+// ---------------------------------------------------------------------------
+
+TEST(Determinism, FullSessionIsBitReproducible) {
+  for (const char* name : {"bba0", "bba1", "bba2", "bba-others", "control"}) {
+    util::Rng rng1(5);
+    util::Rng rng2(5);
+    net::MarkovTraceConfig cfg;
+    const net::CapacityTrace t1 = net::make_markov_trace(cfg, rng1);
+    const net::CapacityTrace t2 = net::make_markov_trace(cfg, rng2);
+    const media::Video video = media::make_cbr_video(
+        "cbr", media::EncodingLadder::netflix_2013(), 300, 4.0);
+    auto a1 = make_algorithm(name);
+    auto a2 = make_algorithm(name);
+    const sim::SessionResult r1 = sim::simulate_session(video, t1, *a1);
+    const sim::SessionResult r2 = sim::simulate_session(video, t2, *a2);
+    ASSERT_EQ(r1.chunks.size(), r2.chunks.size()) << name;
+    for (std::size_t i = 0; i < r1.chunks.size(); ++i) {
+      EXPECT_EQ(r1.chunks[i].rate_index, r2.chunks[i].rate_index) << name;
+      EXPECT_DOUBLE_EQ(r1.chunks[i].finish_s, r2.chunks[i].finish_s) << name;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rate-switch hysteresis: on a noisy but statistically stable trace, BBA-0
+// switches less often than the Control (Fig. 9's mechanism).
+// ---------------------------------------------------------------------------
+
+TEST(Switching, Bba0SwitchesLessThanControl) {
+  util::Rng rng(41);
+  double bba_switches = 0.0;
+  double control_switches = 0.0;
+  for (int i = 0; i < 10; ++i) {
+    net::MarkovTraceConfig cfg;
+    cfg.median_bps = mbps(2.5);
+    cfg.sigma_log = 0.7;
+    util::Rng trng = rng.fork(static_cast<unsigned>(i));
+    const net::CapacityTrace trace = net::make_markov_trace(cfg, trng);
+    util::Rng vrng = rng.fork(100 + static_cast<unsigned>(i));
+    const media::Video video = media::make_vbr_video(
+        "vbr", media::EncodingLadder::netflix_2013(), 900, 4.0,
+        media::VbrConfig{}, vrng);
+    sim::PlayerConfig player;
+    player.watch_duration_s = util::minutes(40);
+    core::Bba0 bba;
+    abr::ControlAbr control;
+    bba_switches += static_cast<double>(
+        sim::compute_metrics(sim::simulate_session(video, trace, bba, player))
+            .switch_count);
+    control_switches += static_cast<double>(
+        sim::compute_metrics(
+            sim::simulate_session(video, trace, control, player))
+            .switch_count);
+  }
+  EXPECT_LT(bba_switches, control_switches);
+}
+
+}  // namespace
+}  // namespace bba

@@ -1,0 +1,76 @@
+// Tests for trace transforms.
+#include <gtest/gtest.h>
+
+#include "net/trace_transform.hpp"
+#include "util/units.hpp"
+
+namespace bba::net {
+namespace {
+
+using util::mbps;
+
+CapacityTrace base() {
+  return CapacityTrace({{10.0, 100.0}, {5.0, 400.0}, {5.0, 50.0}});
+}
+
+TEST(Transform, ScaleRate) {
+  const CapacityTrace t = scale_rate(base(), 2.0);
+  EXPECT_DOUBLE_EQ(t.rate_at_bps(0.0), 200.0);
+  EXPECT_DOUBLE_EQ(t.rate_at_bps(12.0), 800.0);
+  EXPECT_DOUBLE_EQ(t.cycle_duration_s(), 20.0);  // durations untouched
+}
+
+TEST(Transform, ScaleTime) {
+  const CapacityTrace t = scale_time(base(), 3.0);
+  EXPECT_DOUBLE_EQ(t.cycle_duration_s(), 60.0);
+  EXPECT_DOUBLE_EQ(t.rate_at_bps(29.0), 100.0);  // first segment now 30 s
+  EXPECT_DOUBLE_EQ(t.rate_at_bps(31.0), 400.0);
+}
+
+TEST(Transform, ClampRate) {
+  const CapacityTrace t = clamp_rate(base(), 80.0, 300.0);
+  EXPECT_DOUBLE_EQ(t.min_rate_bps(), 80.0);
+  EXPECT_DOUBLE_EQ(t.max_rate_bps(), 300.0);
+  EXPECT_DOUBLE_EQ(t.rate_at_bps(0.0), 100.0);  // in range: unchanged
+}
+
+TEST(Transform, SkipStartWithinFirstSegment) {
+  const CapacityTrace t = skip_start(base(), 4.0);
+  EXPECT_DOUBLE_EQ(t.cycle_duration_s(), 16.0);
+  EXPECT_DOUBLE_EQ(t.rate_at_bps(0.0), 100.0);  // 6 s of segment 1 left
+  EXPECT_DOUBLE_EQ(t.rate_at_bps(7.0), 400.0);
+}
+
+TEST(Transform, SkipStartAcrossSegments) {
+  const CapacityTrace t = skip_start(base(), 12.0);
+  EXPECT_DOUBLE_EQ(t.cycle_duration_s(), 8.0);
+  EXPECT_DOUBLE_EQ(t.rate_at_bps(0.0), 400.0);  // 3 s of segment 2 left
+  EXPECT_DOUBLE_EQ(t.rate_at_bps(4.0), 50.0);
+}
+
+TEST(Transform, SkipZeroIsIdentity) {
+  const CapacityTrace t = skip_start(base(), 0.0);
+  EXPECT_DOUBLE_EQ(t.cycle_duration_s(), base().cycle_duration_s());
+}
+
+TEST(Transform, Concat) {
+  const CapacityTrace t =
+      concat(CapacityTrace::constant(mbps(1)), base());
+  EXPECT_DOUBLE_EQ(t.cycle_duration_s(), 1.0 + 20.0);
+  EXPECT_DOUBLE_EQ(t.rate_at_bps(0.5), mbps(1));
+  EXPECT_DOUBLE_EQ(t.rate_at_bps(1.5), 100.0);
+}
+
+TEST(Transform, ComposedPipeline) {
+  // scale down 2x then clamp: verify integration stays consistent.
+  const CapacityTrace t = clamp_rate(scale_rate(base(), 0.5), 40.0, 150.0);
+  // Rates become 50, 150 (clamped from 200), 40 (clamped from 25).
+  EXPECT_DOUBLE_EQ(t.rate_at_bps(0.0), 50.0);
+  EXPECT_DOUBLE_EQ(t.rate_at_bps(12.0), 150.0);
+  EXPECT_DOUBLE_EQ(t.rate_at_bps(17.0), 40.0);
+  EXPECT_DOUBLE_EQ(t.bits_between(0.0, 20.0),
+                   50.0 * 10 + 150.0 * 5 + 40.0 * 5);
+}
+
+}  // namespace
+}  // namespace bba::net

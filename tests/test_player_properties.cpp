@@ -1,0 +1,141 @@
+// Property sweeps: structural invariants of the player that must hold for
+// EVERY algorithm on EVERY trace -- randomized over seeds, checked for all
+// algorithms in the library.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <string>
+#include <tuple>
+
+#include "abr/baselines.hpp"
+#include "abr/control.hpp"
+#include "abr/related_work.hpp"
+#include "core/bba0.hpp"
+#include "core/bba1.hpp"
+#include "core/bba2.hpp"
+#include "core/bba_others.hpp"
+#include "exp/population.hpp"
+#include "exp/workload.hpp"
+#include "media/video.hpp"
+#include "net/trace_gen.hpp"
+#include "sim/metrics.hpp"
+#include "sim/player.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace bba {
+namespace {
+
+std::unique_ptr<abr::RateAdaptation> make(const std::string& name) {
+  if (name == "bba0") return std::make_unique<core::Bba0>();
+  if (name == "bba1") return std::make_unique<core::Bba1>();
+  if (name == "bba2") return std::make_unique<core::Bba2>();
+  if (name == "bba_others") return std::make_unique<core::BbaOthers>();
+  if (name == "control") return std::make_unique<abr::ControlAbr>();
+  if (name == "pid") return std::make_unique<abr::PidAbr>();
+  if (name == "elastic") return std::make_unique<abr::ElasticAbr>();
+  if (name == "rmax") return std::make_unique<abr::RMaxAlways>();
+  return std::make_unique<abr::RMinAlways>();
+}
+
+class PlayerInvariants
+    : public testing::TestWithParam<std::tuple<std::string, int>> {};
+
+TEST_P(PlayerInvariants, HoldOnRandomizedSessions) {
+  const auto [name, seed] = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(seed) * 977 + 13);
+
+  // A random environment drawn from the experiment population, plus a
+  // random title (VBR or CBR).
+  const exp::Population population;
+  const std::size_t window = static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(exp::kWindowsPerDay) - 1));
+  const exp::UserEnvironment env = population.sample_environment(window, rng);
+  const net::CapacityTrace trace = population.make_trace(env, rng);
+  const media::VideoLibrary lib = media::VideoLibrary::standard(11);
+  const media::Video& video = lib.pick(rng);
+
+  sim::PlayerConfig cfg;
+  cfg.watch_duration_s = rng.uniform(180.0, 2400.0);
+  cfg.max_wall_s = 4.0 * 3600.0;  // generous dead-network guard
+
+  auto algorithm = make(name);
+  const sim::SessionResult r =
+      sim::simulate_session(video, trace, *algorithm, cfg);
+
+  const double V = video.chunk_duration_s();
+  const double watch_limit =
+      std::min(cfg.watch_duration_s, video.duration_s());
+
+  // Play accounting.
+  EXPECT_LE(r.played_s, watch_limit + 1e-6);
+  if (!r.abandoned) {
+    EXPECT_NEAR(r.played_s, watch_limit, 1e-6);
+  }
+  EXPECT_GE(r.wall_s, r.played_s - 1e-6);
+
+  // Chunk log invariants.
+  double prev_finish = 0.0;
+  std::size_t prev_index = 0;
+  bool first = true;
+  for (const auto& c : r.chunks) {
+    EXPECT_LT(c.rate_index, video.ladder().size());
+    EXPECT_DOUBLE_EQ(c.rate_bps, video.ladder().rate_bps(c.rate_index));
+    EXPECT_DOUBLE_EQ(c.size_bits,
+                     video.chunks().size_bits(c.rate_index, c.index));
+    EXPECT_GT(c.download_s, 0.0);
+    EXPECT_NEAR(c.finish_s - c.request_s, c.download_s, 1e-9);
+    EXPECT_GT(c.throughput_bps, 0.0);
+    EXPECT_GE(c.buffer_after_s, 0.0);
+    EXPECT_LE(c.buffer_after_s, cfg.buffer_capacity_s + 1e-9);
+    EXPECT_GE(c.off_wait_s, 0.0);
+    if (!first) {
+      EXPECT_EQ(c.index, prev_index + 1);       // sequential, no skips
+      EXPECT_GE(c.request_s, prev_finish - 1e-9);  // no overlap
+    }
+    prev_finish = c.finish_s;
+    prev_index = c.index;
+    first = false;
+  }
+
+  // Rebuffer invariants.
+  double total_stall = 0.0;
+  for (const auto& rb : r.rebuffers) {
+    EXPECT_GT(rb.duration_s, -1e-9);
+    EXPECT_GE(rb.start_s, r.join_s - 1e-9);  // no stalls before playback
+    EXPECT_LE(rb.start_s + rb.duration_s, r.wall_s + 1e-6);
+    total_stall += rb.duration_s;
+  }
+  // Wall = join + played + stalls + trailing idle; at minimum:
+  EXPECT_GE(r.wall_s + 1e-6, r.join_s + r.played_s * 0.0 + total_stall);
+
+  // Metrics are finite and self-consistent.
+  const sim::SessionMetrics m = sim::compute_metrics(r);
+  EXPECT_TRUE(std::isfinite(m.avg_rate_bps));
+  if (m.play_s > 0.0 && !r.chunks.empty()) {
+    EXPECT_GE(m.avg_rate_bps, video.ladder().rmin_bps() - 1e-6);
+    EXPECT_LE(m.avg_rate_bps, video.ladder().rmax_bps() + 1e-6);
+  }
+  EXPECT_EQ(m.rebuffer_count,
+            static_cast<long long>(r.rebuffers.size()));
+  EXPECT_LE(m.switch_count,
+            static_cast<long long>(r.chunks.empty() ? 0
+                                                    : r.chunks.size() - 1));
+  (void)V;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, PlayerInvariants,
+    testing::Combine(testing::Values("bba0", "bba1", "bba2", "bba_others",
+                                     "control", "pid", "elastic", "rmin",
+                                     "rmax"),
+                     testing::Range(0, 6)),
+    [](const testing::TestParamInfo<PlayerInvariants::ParamType>& info) {
+      return std::get<0>(info.param) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace bba

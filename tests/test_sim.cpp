@@ -1,0 +1,297 @@
+// Tests for bba::sim: player buffer dynamics, rebuffering, ON-OFF
+// behaviour, session truncation, and metric computation -- checked against
+// hand-computed traces.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "abr/baselines.hpp"
+#include "media/video.hpp"
+#include "net/capacity_trace.hpp"
+#include "net/trace_gen.hpp"
+#include "sim/metrics.hpp"
+#include "sim/player.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace bba::sim {
+namespace {
+
+using util::kbps;
+using util::mbps;
+
+media::Video small_cbr_video(std::size_t chunks = 100) {
+  return media::make_cbr_video("t", media::EncodingLadder::netflix_2013(),
+                               chunks, 4.0);
+}
+
+TEST(Player, SteadyStateOnFastConstantLink) {
+  // R_min chunks are 0.94 Mb; at 9.4 Mb/s each takes exactly 0.1 s.
+  const media::Video video = small_cbr_video(50);
+  const net::CapacityTrace trace = net::CapacityTrace::constant(kbps(2350));
+  abr::RMinAlways abr;
+  const SessionResult r = simulate_session(video, trace, abr);
+
+  ASSERT_EQ(r.chunks.size(), 50u);
+  EXPECT_TRUE(r.started);
+  EXPECT_TRUE(r.rebuffers.empty());
+  EXPECT_FALSE(r.abandoned);
+  // Download time per chunk: 235e3*4 bits / 2.35e6 = 0.4 s.
+  EXPECT_NEAR(r.chunks[0].download_s, 0.4, 1e-9);
+  EXPECT_NEAR(r.chunks[0].throughput_bps, kbps(2350), 1.0);
+  // Playback starts when the first chunk lands.
+  EXPECT_NEAR(r.join_s, 0.4, 1e-9);
+  // The whole 200 s video plays out.
+  EXPECT_NEAR(r.played_s, 200.0, 1e-9);
+}
+
+TEST(Player, BufferGrowsAtCapacityOverRate) {
+  // Fig. 2: buffer fills at rate C/R while playing.
+  const media::Video video = small_cbr_video(100);
+  const net::CapacityTrace trace = net::CapacityTrace::constant(kbps(470));
+  abr::RMinAlways abr;  // rate 235 kb/s -> C/R = 2
+  const SessionResult r = simulate_session(video, trace, abr);
+  // Each chunk takes 2 s and adds 4 s: net +2 s per 2 s of wall time after
+  // playback starts (buffer after chunk k ~ 2 + 2k until the cap).
+  ASSERT_GE(r.chunks.size(), 10u);
+  for (std::size_t k = 1; k < 10; ++k) {
+    EXPECT_NEAR(r.chunks[k].buffer_after_s - r.chunks[k - 1].buffer_after_s,
+                2.0, 1e-9);
+  }
+}
+
+TEST(Player, RebufferWhenCapacityBelowRate) {
+  // Capacity below R_min: every chunk takes 8 s but plays 4 s.
+  const media::Video video = small_cbr_video(20);
+  const net::CapacityTrace trace =
+      net::CapacityTrace::constant(kbps(117.5));  // half of R_min
+  abr::RMinAlways abr;
+  const SessionResult r = simulate_session(video, trace, abr);
+  // Chunk 0 lands at t=8, playback starts with 4 s of buffer; chunk 1
+  // takes 8 s, so the buffer dies 4 s in: one stall per chunk thereafter.
+  EXPECT_GE(r.rebuffers.size(), 15u);
+  double stall = 0.0;
+  for (const auto& rb : r.rebuffers) stall += rb.duration_s;
+  // Per steady-state chunk: 8 s download vs 4 s of content -> 4 s stall.
+  EXPECT_NEAR(stall / static_cast<double>(r.rebuffers.size()), 4.0, 0.5);
+  // All content still plays eventually.
+  EXPECT_NEAR(r.played_s, 80.0, 1e-6);
+}
+
+TEST(Player, StallTimingIsExact) {
+  const media::Video video = small_cbr_video(3);
+  const net::CapacityTrace trace = net::CapacityTrace::constant(kbps(117.5));
+  abr::RMinAlways abr;
+  const SessionResult r = simulate_session(video, trace, abr);
+  ASSERT_EQ(r.rebuffers.size(), 2u);
+  // Chunk 0 lands at 8 s (join); buffer 4 s drains by 12 s; chunk 1 lands
+  // at 16 s -> stall [12, 16].
+  EXPECT_NEAR(r.rebuffers[0].start_s, 12.0, 1e-9);
+  EXPECT_NEAR(r.rebuffers[0].duration_s, 4.0, 1e-9);
+  EXPECT_EQ(r.rebuffers[0].chunk_index, 1u);
+}
+
+TEST(Player, OnOffWaitWhenBufferFull) {
+  // Very fast link: the 240 s buffer fills, then requests pace at 4 s.
+  const media::Video video = small_cbr_video(100);
+  const net::CapacityTrace trace = net::CapacityTrace::constant(mbps(100));
+  abr::RMinAlways abr;
+  const SessionResult r = simulate_session(video, trace, abr);
+  EXPECT_TRUE(r.rebuffers.empty());
+  // Buffer capacity 240 s; chunks beyond the ~60th must wait (ON-OFF).
+  bool saw_wait = false;
+  double max_buffer = 0.0;
+  for (const auto& c : r.chunks) {
+    if (c.off_wait_s > 0.0) saw_wait = true;
+    max_buffer = std::max(max_buffer, c.buffer_after_s);
+  }
+  EXPECT_TRUE(saw_wait);
+  EXPECT_LE(max_buffer, 240.0 + 1e-9);
+}
+
+TEST(Player, OnOffWaitsApproachChunkDuration) {
+  const media::Video video = small_cbr_video(100);
+  const net::CapacityTrace trace = net::CapacityTrace::constant(mbps(100));
+  abr::RMinAlways abr;
+  const SessionResult r = simulate_session(video, trace, abr);
+  // In the saturated regime each wait is ~V minus the download time.
+  const auto& last = r.chunks.back();
+  EXPECT_NEAR(last.off_wait_s, 4.0 - last.download_s, 1e-6);
+}
+
+TEST(Player, WatchDurationTruncatesSession) {
+  const media::Video video = small_cbr_video(200);  // 800 s of video
+  const net::CapacityTrace trace = net::CapacityTrace::constant(mbps(10));
+  abr::RMinAlways abr;
+  PlayerConfig cfg;
+  cfg.watch_duration_s = 100.0;
+  const SessionResult r = simulate_session(video, trace, abr, cfg);
+  EXPECT_NEAR(r.played_s, 100.0, 1e-9);
+  // Should not have downloaded the whole title.
+  EXPECT_LT(r.chunks.size(), 200u);
+}
+
+TEST(Player, WatchBeyondVideoLengthPlaysWholeTitle) {
+  const media::Video video = small_cbr_video(10);  // 40 s
+  const net::CapacityTrace trace = net::CapacityTrace::constant(mbps(10));
+  abr::RMinAlways abr;
+  PlayerConfig cfg;
+  cfg.watch_duration_s = 1e9;
+  const SessionResult r = simulate_session(video, trace, abr, cfg);
+  EXPECT_NEAR(r.played_s, 40.0, 1e-9);
+  EXPECT_EQ(r.chunks.size(), 10u);
+}
+
+TEST(Player, DeadLinkAbandonsSession) {
+  const media::Video video = small_cbr_video(10);
+  const net::CapacityTrace trace({{5.0, mbps(1)}}, /*loop=*/false);
+  abr::RMinAlways abr;
+  const SessionResult r = simulate_session(video, trace, abr);
+  EXPECT_TRUE(r.abandoned);
+  // Whatever was buffered still plays out.
+  EXPECT_GT(r.played_s, 0.0);
+  EXPECT_LT(r.played_s, 40.0);
+}
+
+TEST(Player, WallClockGuardAbandons) {
+  const media::Video video = small_cbr_video(100);
+  const net::CapacityTrace trace = net::CapacityTrace::constant(kbps(50));
+  abr::RMinAlways abr;
+  PlayerConfig cfg;
+  cfg.max_wall_s = 60.0;
+  const SessionResult r = simulate_session(video, trace, abr, cfg);
+  EXPECT_TRUE(r.abandoned);
+}
+
+TEST(Player, PlayThresholdDelaysJoin) {
+  const media::Video video = small_cbr_video(50);
+  const net::CapacityTrace trace = net::CapacityTrace::constant(kbps(940));
+  abr::RMinAlways abr;
+  PlayerConfig cfg;
+  cfg.play_threshold_s = 12.0;  // three chunks
+  const SessionResult r = simulate_session(video, trace, abr, cfg);
+  // Chunks take 1 s each; the third lands at t=3 with 12 s buffered.
+  EXPECT_NEAR(r.join_s, 3.0, 1e-9);
+  EXPECT_TRUE(r.rebuffers.empty());
+}
+
+TEST(Player, ChunkRecordsAreConsistent) {
+  const media::Video video = small_cbr_video(30);
+  util::Rng rng(3);
+  net::MarkovTraceConfig cfg;
+  const net::CapacityTrace trace = net::make_markov_trace(cfg, rng);
+  abr::RMinAlways abr;
+  const SessionResult r = simulate_session(video, trace, abr);
+  for (std::size_t i = 0; i < r.chunks.size(); ++i) {
+    const auto& c = r.chunks[i];
+    EXPECT_EQ(c.index, i);
+    EXPECT_NEAR(c.finish_s - c.request_s, c.download_s, 1e-9);
+    EXPECT_NEAR(c.throughput_bps * c.download_s, c.size_bits, 1e-3);
+    if (i > 0) {
+      EXPECT_GE(c.request_s, r.chunks[i - 1].finish_s - 1e-9);
+    }
+  }
+}
+
+TEST(Player, SequentialDownloadsNeverOverlap) {
+  const media::Video video = small_cbr_video(40);
+  const net::CapacityTrace trace = net::CapacityTrace::constant(mbps(2));
+  abr::RMaxAlways abr;
+  const SessionResult r = simulate_session(video, trace, abr);
+  for (std::size_t i = 1; i < r.chunks.size(); ++i) {
+    EXPECT_GE(r.chunks[i].request_s, r.chunks[i - 1].finish_s - 1e-9);
+  }
+}
+
+TEST(Metrics, RebuffersPerHour) {
+  SessionResult r;
+  r.chunk_duration_s = 4.0;
+  r.played_s = 1800.0;  // half an hour
+  r.rebuffers.push_back({10.0, 2.0, 1});
+  r.rebuffers.push_back({20.0, 3.0, 2});
+  const SessionMetrics m = compute_metrics(r);
+  EXPECT_EQ(m.rebuffer_count, 2);
+  EXPECT_DOUBLE_EQ(m.rebuffer_s, 5.0);
+  EXPECT_DOUBLE_EQ(m.rebuffers_per_hour, 4.0);
+}
+
+TEST(Metrics, AverageRateIsPlayWeighted) {
+  SessionResult r;
+  r.chunk_duration_s = 4.0;
+  r.played_s = 8.0;  // exactly two chunks played
+  r.chunks.push_back({0, 0, 1000.0, 4000.0, 0, 1, 1, 4000.0, 4, 0, 0.0});
+  r.chunks.push_back({1, 1, 3000.0, 12000.0, 1, 2, 1, 12000.0, 8, 0, 4.0});
+  r.chunks.push_back({2, 2, 9000.0, 36000.0, 2, 3, 1, 36000.0, 12, 0, 8.0});
+  const SessionMetrics m = compute_metrics(r);
+  // Only the first two chunks play: mean of 1000 and 3000.
+  EXPECT_DOUBLE_EQ(m.avg_rate_bps, 2000.0);
+}
+
+TEST(Metrics, PartialChunkWeighting) {
+  SessionResult r;
+  r.chunk_duration_s = 4.0;
+  r.played_s = 6.0;  // one full chunk + half of the next
+  r.chunks.push_back({0, 0, 1000.0, 4000.0, 0, 1, 1, 4000.0, 4, 0, 0.0});
+  r.chunks.push_back({1, 1, 4000.0, 16000.0, 1, 2, 1, 16000.0, 8, 0, 4.0});
+  const SessionMetrics m = compute_metrics(r);
+  EXPECT_DOUBLE_EQ(m.avg_rate_bps, (1000.0 * 4 + 4000.0 * 2) / 6.0);
+}
+
+TEST(Metrics, StartupSteadySplit) {
+  SessionResult r;
+  r.chunk_duration_s = 4.0;
+  r.played_s = 240.0;
+  // 60 chunks: first 30 at 1000, rest at 5000.
+  for (std::size_t k = 0; k < 60; ++k) {
+    const double rate = k < 30 ? 1000.0 : 5000.0;
+    r.chunks.push_back({k, 0, rate, rate * 4, 0, 1, 1, rate * 4, 10, 0,
+                        4.0 * static_cast<double>(k)});
+  }
+  const SessionMetrics m = compute_metrics(r, /*steady_after_s=*/120.0);
+  EXPECT_DOUBLE_EQ(m.startup_rate_bps, 1000.0);
+  EXPECT_DOUBLE_EQ(m.steady_rate_bps, 5000.0);
+  EXPECT_TRUE(m.has_steady);
+  EXPECT_DOUBLE_EQ(m.avg_rate_bps, 3000.0);
+}
+
+TEST(Metrics, ShortSessionHasNoSteadyPhase) {
+  SessionResult r;
+  r.chunk_duration_s = 4.0;
+  r.played_s = 60.0;
+  for (std::size_t k = 0; k < 15; ++k) {
+    r.chunks.push_back({k, 0, 1000.0, 4000.0, 0, 1, 1, 4000.0, 10, 0,
+                        4.0 * static_cast<double>(k)});
+  }
+  const SessionMetrics m = compute_metrics(r);
+  EXPECT_FALSE(m.has_steady);
+  EXPECT_DOUBLE_EQ(m.startup_rate_bps, 1000.0);
+}
+
+TEST(Metrics, SwitchCounting) {
+  SessionResult r;
+  r.chunk_duration_s = 4.0;
+  r.played_s = 3600.0;
+  const std::size_t rates[] = {0, 0, 1, 1, 2, 1, 1, 0};
+  std::size_t k = 0;
+  for (std::size_t rate : rates) {
+    r.chunks.push_back({k, rate, 1000.0, 4000.0, 0, 1, 1, 4000.0, 10, 0,
+                        4.0 * static_cast<double>(k)});
+    ++k;
+  }
+  const SessionMetrics m = compute_metrics(r);
+  EXPECT_EQ(m.switch_count, 4);
+  EXPECT_DOUBLE_EQ(m.switches_per_hour, 4.0);
+}
+
+TEST(Metrics, ZeroPlayTimeIsSafe) {
+  SessionResult r;
+  r.chunk_duration_s = 4.0;
+  r.played_s = 0.0;
+  const SessionMetrics m = compute_metrics(r);
+  EXPECT_DOUBLE_EQ(m.rebuffers_per_hour, 0.0);
+  EXPECT_DOUBLE_EQ(m.avg_rate_bps, 0.0);
+  EXPECT_DOUBLE_EQ(m.switches_per_hour, 0.0);
+}
+
+}  // namespace
+}  // namespace bba::sim

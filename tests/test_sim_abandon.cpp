@@ -1,0 +1,86 @@
+// Tests for the viewer give-up-on-stall model.
+#include <gtest/gtest.h>
+
+#include "abr/baselines.hpp"
+#include "media/video.hpp"
+#include "net/capacity_trace.hpp"
+#include "sim/metrics.hpp"
+#include "sim/player.hpp"
+#include "util/units.hpp"
+
+namespace bba::sim {
+namespace {
+
+using util::kbps;
+using util::mbps;
+
+media::Video cbr(std::size_t chunks = 50) {
+  return media::make_cbr_video("t", media::EncodingLadder::netflix_2013(),
+                               chunks, 4.0);
+}
+
+TEST(GiveUp, InfinitePatienceNeverAbandons) {
+  const media::Video video = cbr(10);
+  // Every chunk stalls 4 s (capacity at half of R_min).
+  const net::CapacityTrace trace = net::CapacityTrace::constant(kbps(117.5));
+  abr::RMinAlways abr;
+  const SessionResult r = simulate_session(video, trace, abr);
+  EXPECT_FALSE(r.abandoned);
+  EXPECT_NEAR(r.played_s, 40.0, 1e-6);
+}
+
+TEST(GiveUp, WalksOutDuringLongStall) {
+  const media::Video video = cbr(10);
+  // Chunk 1 takes 40 s while only 4 s is buffered: a ~36 s stall.
+  const net::CapacityTrace trace = net::CapacityTrace::constant(kbps(23.5));
+  abr::RMinAlways abr;
+  PlayerConfig cfg;
+  cfg.give_up_stall_s = 10.0;
+  const SessionResult r = simulate_session(video, trace, abr, cfg);
+  EXPECT_TRUE(r.abandoned);
+  ASSERT_EQ(r.rebuffers.size(), 1u);
+  EXPECT_NEAR(r.rebuffers[0].duration_s, 10.0, 1e-9);
+  // Playback covered only the first chunk before the walk-out.
+  EXPECT_NEAR(r.played_s, 4.0, 1e-9);
+  // Wall clock ends exactly when patience ran out.
+  EXPECT_NEAR(r.wall_s, r.rebuffers[0].start_s + 10.0, 1e-9);
+}
+
+TEST(GiveUp, ShortStallsAreTolerated) {
+  const media::Video video = cbr(10);
+  const net::CapacityTrace trace = net::CapacityTrace::constant(kbps(117.5));
+  abr::RMinAlways abr;
+  PlayerConfig cfg;
+  cfg.give_up_stall_s = 10.0;  // stalls here are only ~4 s
+  const SessionResult r = simulate_session(video, trace, abr, cfg);
+  EXPECT_FALSE(r.abandoned);
+  EXPECT_NEAR(r.played_s, 40.0, 1e-6);
+  EXPECT_GE(r.rebuffers.size(), 5u);
+}
+
+TEST(GiveUp, PatienceExactlyAtStallLengthTolerates) {
+  const media::Video video = cbr(5);
+  const net::CapacityTrace trace = net::CapacityTrace::constant(kbps(117.5));
+  abr::RMinAlways abr;
+  PlayerConfig cfg;
+  cfg.give_up_stall_s = 4.0;  // stalls are exactly 4 s
+  const SessionResult r = simulate_session(video, trace, abr, cfg);
+  EXPECT_FALSE(r.abandoned);
+}
+
+TEST(GiveUp, AbandonedSessionMetricsAreConsistent) {
+  const media::Video video = cbr(10);
+  const net::CapacityTrace trace = net::CapacityTrace::constant(kbps(23.5));
+  abr::RMinAlways abr;
+  PlayerConfig cfg;
+  cfg.give_up_stall_s = 10.0;
+  const SessionMetrics m =
+      compute_metrics(simulate_session(video, trace, abr, cfg));
+  EXPECT_TRUE(m.abandoned);
+  EXPECT_EQ(m.rebuffer_count, 1);
+  EXPECT_DOUBLE_EQ(m.rebuffer_s, 10.0);
+  EXPECT_GT(m.play_s, 0.0);
+}
+
+}  // namespace
+}  // namespace bba::sim

@@ -1,0 +1,130 @@
+// Cross-feature interaction tests: TCP slow start x seeks x startup ramp x
+// give-up -- combinations a downstream user will hit together.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "abr/baselines.hpp"
+#include "core/bba2.hpp"
+#include "media/video.hpp"
+#include "net/capacity_trace.hpp"
+#include "net/tcp_model.hpp"
+#include "sim/metrics.hpp"
+#include "sim/player.hpp"
+#include "util/units.hpp"
+
+namespace bba::sim {
+namespace {
+
+using util::kbps;
+using util::mbps;
+
+media::Video cbr(std::size_t chunks = 400) {
+  return media::make_cbr_video("t", media::EncodingLadder::netflix_2013(),
+                               chunks, 4.0);
+}
+
+TEST(TcpAndStartup, FirstChunkIsAlwaysCold) {
+  // The session's first request has no prior connection: with the TCP
+  // model the join delay exceeds the fluid model's.
+  const media::Video video = cbr();
+  const net::CapacityTrace trace = net::CapacityTrace::constant(mbps(5));
+  abr::RMinAlways a1;
+  abr::RMinAlways a2;
+  PlayerConfig fluid;
+  PlayerConfig tcp;
+  tcp.tcp = net::TcpModelConfig{};
+  const SessionResult r_fluid = simulate_session(video, trace, a1, fluid);
+  const SessionResult r_tcp = simulate_session(video, trace, a2, tcp);
+  EXPECT_GT(r_tcp.join_s, r_fluid.join_s);
+}
+
+TEST(TcpAndStartup, Bba2RampIsSlowerUnderSlowStart) {
+  // Delta-B shrinks when downloads ride slow start, so the startup ramp
+  // climbs later; the steady state is unaffected (buffer-driven).
+  const media::Video video = cbr();
+  const net::CapacityTrace trace = net::CapacityTrace::constant(mbps(5));
+  core::Bba2 a1;
+  core::Bba2 a2;
+  PlayerConfig fluid;
+  fluid.watch_duration_s = 600.0;
+  PlayerConfig tcp = fluid;
+  tcp.tcp = net::TcpModelConfig{};
+  const SessionMetrics m_fluid =
+      compute_metrics(simulate_session(video, trace, a1, fluid));
+  const SessionMetrics m_tcp =
+      compute_metrics(simulate_session(video, trace, a2, tcp));
+  EXPECT_LE(m_tcp.startup_rate_bps, m_fluid.startup_rate_bps + 1.0);
+  EXPECT_EQ(m_tcp.rebuffer_count, 0);
+}
+
+TEST(TcpAndSeek, SeekGapResetsTheWindow) {
+  // The idle across a seek exceeds the reset threshold, so the first
+  // chunk after the seek downloads cold (longer than a warm chunk of the
+  // same size).
+  const media::Video video = cbr();
+  const net::CapacityTrace trace = net::CapacityTrace::constant(mbps(5));
+  abr::RMinAlways abr;
+  PlayerConfig cfg;
+  cfg.watch_duration_s = 200.0;
+  cfg.tcp = net::TcpModelConfig{};
+  const std::vector<Seek> seeks{{100.0, 800.0}};
+  const SessionResult r =
+      simulate_session_with_seeks(video, trace, abr, seeks, cfg);
+  EXPECT_NEAR(r.played_s, 200.0, 1e-6);
+  // Find the first chunk of the second segment (index 200) and compare
+  // its download time to a mid-segment warm chunk.
+  const ChunkRecord* post_seek = nullptr;
+  for (const auto& c : r.chunks) {
+    if (c.index == 200) post_seek = &c;
+  }
+  ASSERT_NE(post_seek, nullptr);
+  EXPECT_GT(post_seek->download_s,
+            0.94e6 / mbps(5) + 1e-6);  // slower than fluid
+}
+
+TEST(TcpAndOutage, OutageMidSessionStaysFiniteAndCompletes) {
+  // An outage window under the TCP model: the model hands the remainder
+  // to exact trace integration, so completion times stay finite and the
+  // session finishes.
+  const media::Video video = cbr(60);
+  const net::CapacityTrace trace(
+      {{30.0, mbps(4)}, {20.0, 0.0}, {600.0, mbps(4)}});
+  abr::RMinAlways abr;
+  PlayerConfig cfg;
+  cfg.tcp = net::TcpModelConfig{};
+  const SessionResult r = simulate_session(video, trace, abr, cfg);
+  EXPECT_FALSE(r.abandoned);
+  EXPECT_NEAR(r.played_s, 240.0, 1e-6);
+  for (const auto& c : r.chunks) {
+    EXPECT_TRUE(std::isfinite(c.finish_s));
+  }
+}
+
+TEST(TcpModelConfigured, WarmPipelinePreservesFluidTiming) {
+  // With back-to-back requests (buffer far from full) and idles below the
+  // reset threshold, the TCP model must not change completion times.
+  const media::Video video = cbr();
+  const net::CapacityTrace trace = net::CapacityTrace::constant(kbps(400));
+  abr::RMinAlways a1;
+  abr::RMinAlways a2;
+  PlayerConfig fluid;
+  fluid.watch_duration_s = 300.0;
+  PlayerConfig tcp = fluid;
+  tcp.tcp = net::TcpModelConfig{};
+  const SessionResult r_fluid = simulate_session(video, trace, a1, fluid);
+  const SessionResult r_tcp = simulate_session(video, trace, a2, tcp);
+  // At 400 kb/s an R_min chunk takes 2.35 s and requests are
+  // back-to-back: every chunk after the first is warm.
+  ASSERT_GT(r_tcp.chunks.size(), 2u);
+  for (std::size_t i = 1; i < std::min(r_tcp.chunks.size(),
+                                       r_fluid.chunks.size());
+       ++i) {
+    EXPECT_NEAR(r_tcp.chunks[i].download_s, r_fluid.chunks[i].download_s,
+                1e-9)
+        << i;
+  }
+}
+
+}  // namespace
+}  // namespace bba::sim

@@ -1,0 +1,195 @@
+// bba_abtest: run a custom A/B experiment from the command line.
+//
+//   bba_abtest [--groups control,bba2,...] [--sessions N] [--days N]
+//              [--seed S] [--metric rebuffers|rate|steady|startup|switches]
+//              [--baseline GROUP] [--csv PREFIX]
+//
+// Groups: control, throughput, pid, elastic, rmin-always, bba0, bba1,
+// bba2, bba-others. Prints the per-window table, the normalized summary,
+// and (with --csv) writes plot-ready data.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "abr/baselines.hpp"
+#include "abr/control.hpp"
+#include "abr/bola.hpp"
+#include "abr/related_work.hpp"
+#include "core/bba0.hpp"
+#include "core/bba1.hpp"
+#include "core/bba2.hpp"
+#include "core/bba_others.hpp"
+#include "exp/abtest.hpp"
+#include "exp/dump.hpp"
+#include "exp/report.hpp"
+#include "media/video.hpp"
+#include "net/estimators.hpp"
+
+namespace {
+
+using namespace bba;
+
+exp::AbrFactory factory_for(const std::string& name) {
+  if (name == "control") return exp::make_control_factory();
+  if (name == "rmin-always") return exp::make_rmin_factory();
+  if (name == "bba0") return exp::make_bba0_factory();
+  if (name == "bba1") return exp::make_bba1_factory();
+  if (name == "bba2") return exp::make_bba2_factory();
+  if (name == "bba-others") return exp::make_bba_others_factory();
+  if (name == "throughput") {
+    return [] {
+      return std::make_unique<abr::ThroughputAbr>(
+          std::make_unique<net::EwmaEstimator>(0.3));
+    };
+  }
+  if (name == "pid") {
+    return [] { return std::make_unique<abr::PidAbr>(); };
+  }
+  if (name == "elastic") {
+    return [] { return std::make_unique<abr::ElasticAbr>(); };
+  }
+  if (name == "bola") {
+    return [] { return std::make_unique<abr::BolaAbr>(); };
+  }
+  return nullptr;
+}
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::string::size_type start = 0;
+  while (true) {
+    const auto comma = s.find(',', start);
+    if (comma == std::string::npos) {
+      out.push_back(s.substr(start));
+      break;
+    }
+    out.push_back(s.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--groups g1,g2,...] [--sessions N] [--days N] [--seed S]\n"
+      "          [--metric rebuffers|rate|steady|startup|switches]\n"
+      "          [--baseline GROUP] [--csv PREFIX]\n"
+      "groups: control throughput pid elastic bola rmin-always bba0 bba1 "
+      "bba2 bba-others\n",
+      argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> group_names{"control", "rmin-always", "bba2"};
+  exp::AbTestConfig cfg;
+  cfg.sessions_per_window = 60;
+  std::string metric_name = "rebuffers";
+  std::string baseline = "control";
+  std::string csv_prefix;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--groups") {
+      group_names = split_csv(next("--groups"));
+    } else if (arg == "--sessions") {
+      cfg.sessions_per_window =
+          static_cast<std::size_t>(std::atoi(next("--sessions")));
+    } else if (arg == "--days") {
+      cfg.days = static_cast<std::size_t>(std::atoi(next("--days")));
+    } else if (arg == "--seed") {
+      cfg.seed = static_cast<std::uint64_t>(std::atoll(next("--seed")));
+    } else if (arg == "--metric") {
+      metric_name = next("--metric");
+    } else if (arg == "--baseline") {
+      baseline = next("--baseline");
+    } else if (arg == "--csv") {
+      csv_prefix = next("--csv");
+    } else {
+      usage(argv[0]);
+      return arg == "--help" || arg == "-h" ? 0 : 2;
+    }
+  }
+  if (cfg.sessions_per_window == 0 || cfg.days == 0 || group_names.empty()) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  std::vector<exp::Group> groups;
+  for (const auto& name : group_names) {
+    exp::AbrFactory factory = factory_for(name);
+    if (!factory) {
+      std::fprintf(stderr, "unknown group: %s\n", name.c_str());
+      return 2;
+    }
+    groups.push_back({name, std::move(factory)});
+  }
+
+  exp::MetricDef metric;
+  if (metric_name == "rebuffers") {
+    metric = exp::rebuffers_per_hour_metric();
+  } else if (metric_name == "rate") {
+    metric = exp::avg_rate_kbps_metric();
+  } else if (metric_name == "steady") {
+    metric = exp::steady_rate_kbps_metric();
+  } else if (metric_name == "startup") {
+    metric = exp::startup_rate_kbps_metric();
+  } else if (metric_name == "switches") {
+    metric = exp::switches_per_hour_metric();
+  } else {
+    std::fprintf(stderr, "unknown metric: %s\n", metric_name.c_str());
+    return 2;
+  }
+
+  std::printf("running %zu groups x %zu sessions/window x %zu days "
+              "(seed %llu)...\n\n",
+              groups.size(), cfg.sessions_per_window, cfg.days,
+              static_cast<unsigned long long>(cfg.seed));
+  const media::VideoLibrary library = media::VideoLibrary::standard(11);
+  const exp::AbTestResult result = exp::run_ab_test(groups, library, cfg);
+
+  exp::print_absolute_by_window(result, metric);
+  std::printf("\n");
+  bool has_baseline = false;
+  for (const auto& name : result.group_names) {
+    if (name == baseline) has_baseline = true;
+  }
+  if (has_baseline) {
+    exp::print_normalized_by_window(result, metric, baseline);
+    std::printf("\n");
+    for (const auto& name : result.group_names) {
+      if (name == baseline) continue;
+      std::printf("%s/%s overall: %.3f (peak: %.3f)\n", name.c_str(),
+                  baseline.c_str(),
+                  exp::mean_normalized(result, metric, name, baseline,
+                                       false),
+                  exp::mean_normalized(result, metric, name, baseline,
+                                       true));
+    }
+  }
+  if (!csv_prefix.empty()) {
+    const std::string merged = csv_prefix + "_" + metric_name + ".csv";
+    const std::string per_day =
+        csv_prefix + "_" + metric_name + "_per_day.csv";
+    if (exp::dump_metric_csv(merged, result, metric) &&
+        exp::dump_metric_per_day_csv(per_day, result, metric)) {
+      std::printf("\nwrote %s and %s\n", merged.c_str(), per_day.c_str());
+    } else {
+      std::fprintf(stderr, "could not write CSV output\n");
+      return 1;
+    }
+  }
+  return 0;
+}

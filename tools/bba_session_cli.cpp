@@ -1,0 +1,174 @@
+// bba_session: simulate one viewing session from the command line.
+//
+//   bba_session [--abr NAME] [--trace FILE.csv] [--video FILE.csv]
+//               [--watch MINUTES] [--seed S] [--log out.csv]
+//
+// With no --trace, generates a Markov trace (--median-kbps, --sigma);
+// with no --video, generates a synthetic VBR title. Prints the session
+// metrics; --log writes the per-chunk record.
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "abr/baselines.hpp"
+#include "abr/control.hpp"
+#include "abr/bola.hpp"
+#include "abr/related_work.hpp"
+#include "core/bba0.hpp"
+#include "core/bba1.hpp"
+#include "core/bba2.hpp"
+#include "core/bba_others.hpp"
+#include "media/table_io.hpp"
+#include "media/video.hpp"
+#include "net/trace_gen.hpp"
+#include "net/trace_io.hpp"
+#include "sim/metrics.hpp"
+#include "sim/player.hpp"
+#include "sim/qoe.hpp"
+#include "util/csv.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace bba;
+
+std::unique_ptr<abr::RateAdaptation> make_abr(const std::string& name) {
+  if (name == "control") return std::make_unique<abr::ControlAbr>();
+  if (name == "rmin-always") return std::make_unique<abr::RMinAlways>();
+  if (name == "rmax-always") return std::make_unique<abr::RMaxAlways>();
+  if (name == "pid") return std::make_unique<abr::PidAbr>();
+  if (name == "elastic") return std::make_unique<abr::ElasticAbr>();
+  if (name == "bola") return std::make_unique<abr::BolaAbr>();
+  if (name == "bba0") return std::make_unique<core::Bba0>();
+  if (name == "bba1") return std::make_unique<core::Bba1>();
+  if (name == "bba2") return std::make_unique<core::Bba2>();
+  if (name == "bba-others") return std::make_unique<core::BbaOthers>();
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string abr_name = "bba2";
+  std::string trace_path;
+  std::string video_path;
+  std::string log_path;
+  double watch_min = 30.0;
+  double median_kbps = 3000.0;
+  double sigma = 0.8;
+  std::uint64_t seed = 1;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--abr") {
+      abr_name = next("--abr");
+    } else if (arg == "--trace") {
+      trace_path = next("--trace");
+    } else if (arg == "--video") {
+      video_path = next("--video");
+    } else if (arg == "--watch") {
+      watch_min = std::atof(next("--watch"));
+    } else if (arg == "--median-kbps") {
+      median_kbps = std::atof(next("--median-kbps"));
+    } else if (arg == "--sigma") {
+      sigma = std::atof(next("--sigma"));
+    } else if (arg == "--seed") {
+      seed = static_cast<std::uint64_t>(std::atoll(next("--seed")));
+    } else if (arg == "--log") {
+      log_path = next("--log");
+    } else {
+      std::fprintf(
+          stderr,
+          "usage: %s [--abr NAME] [--trace FILE] [--video FILE]\n"
+          "          [--watch MIN] [--median-kbps K] [--sigma S]\n"
+          "          [--seed S] [--log out.csv]\n",
+          argv[0]);
+      return arg == "--help" || arg == "-h" ? 0 : 2;
+    }
+  }
+
+  auto abr = make_abr(abr_name);
+  if (!abr) {
+    std::fprintf(stderr, "unknown --abr: %s\n", abr_name.c_str());
+    return 2;
+  }
+
+  util::Rng rng(seed);
+  std::optional<net::CapacityTrace> trace;
+  if (!trace_path.empty()) {
+    trace = net::read_trace_csv(trace_path);
+    if (!trace) {
+      std::fprintf(stderr, "could not read trace %s\n", trace_path.c_str());
+      return 1;
+    }
+  } else {
+    net::MarkovTraceConfig cfg;
+    cfg.median_bps = util::kbps(median_kbps);
+    cfg.sigma_log = sigma;
+    trace = net::make_markov_trace(cfg, rng);
+  }
+
+  std::optional<media::Video> video;
+  if (!video_path.empty()) {
+    video = media::read_chunk_table_csv(video_path, video_path);
+    if (!video) {
+      std::fprintf(stderr, "could not read video %s\n", video_path.c_str());
+      return 1;
+    }
+  } else {
+    video = media::make_vbr_video("synthetic",
+                                  media::EncodingLadder::netflix_2013(),
+                                  1500, 4.0, media::VbrConfig{}, rng);
+  }
+
+  sim::PlayerConfig player;
+  player.watch_duration_s = watch_min * 60.0;
+  const sim::SessionResult session =
+      sim::simulate_session(*video, *trace, *abr, player);
+  const sim::SessionMetrics m = sim::compute_metrics(session);
+
+  std::printf("abr=%s  trace=%s  video=%s\n", abr->name().c_str(),
+              trace_path.empty() ? "(generated)" : trace_path.c_str(),
+              video_path.empty() ? "(generated)" : video_path.c_str());
+  std::printf("played            %.1f min (join %.2f s)%s\n",
+              m.play_s / 60.0, m.join_s,
+              m.abandoned ? "  [ABANDONED]" : "");
+  std::printf("rebuffers         %lld (%.1f s; %.2f per playhour)\n",
+              m.rebuffer_count, m.rebuffer_s, m.rebuffers_per_hour);
+  std::printf("avg video rate    %.0f kb/s (startup %.0f, steady %.0f)\n",
+              util::to_kbps(m.avg_rate_bps),
+              util::to_kbps(m.startup_rate_bps),
+              util::to_kbps(m.steady_rate_bps));
+  std::printf("switches          %lld (%.1f per playhour)\n",
+              m.switch_count, m.switches_per_hour);
+  std::printf("QoE (linear)      %.2f\n", sim::qoe_score(m));
+
+  if (!log_path.empty()) {
+    util::CsvWriter log(log_path);
+    if (!log.ok()) {
+      std::fprintf(stderr, "could not write %s\n", log_path.c_str());
+      return 1;
+    }
+    log.row(std::vector<std::string>{"finish_s", "chunk", "rate_kbps",
+                                     "buffer_s", "throughput_kbps",
+                                     "download_s"});
+    for (const auto& c : session.chunks) {
+      log.row(std::vector<double>{c.finish_s, static_cast<double>(c.index),
+                                  util::to_kbps(c.rate_bps),
+                                  c.buffer_after_s,
+                                  util::to_kbps(c.throughput_bps),
+                                  c.download_s});
+    }
+    std::printf("per-chunk log     %s\n", log_path.c_str());
+  }
+  return 0;
+}
