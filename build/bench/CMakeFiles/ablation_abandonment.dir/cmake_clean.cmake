@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_abandonment.dir/ablation_abandonment.cpp.o"
+  "CMakeFiles/ablation_abandonment.dir/ablation_abandonment.cpp.o.d"
+  "ablation_abandonment"
+  "ablation_abandonment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_abandonment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

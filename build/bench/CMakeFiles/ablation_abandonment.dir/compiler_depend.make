@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ablation_abandonment.
+# This may be replaced when dependencies are built.

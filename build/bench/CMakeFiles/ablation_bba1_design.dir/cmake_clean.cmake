@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bba1_design.dir/ablation_bba1_design.cpp.o"
+  "CMakeFiles/ablation_bba1_design.dir/ablation_bba1_design.cpp.o.d"
+  "ablation_bba1_design"
+  "ablation_bba1_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bba1_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

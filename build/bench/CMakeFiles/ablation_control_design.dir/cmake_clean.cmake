@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_control_design.dir/ablation_control_design.cpp.o"
+  "CMakeFiles/ablation_control_design.dir/ablation_control_design.cpp.o.d"
+  "ablation_control_design"
+  "ablation_control_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_control_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

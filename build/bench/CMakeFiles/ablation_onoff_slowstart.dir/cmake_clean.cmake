@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_onoff_slowstart.dir/ablation_onoff_slowstart.cpp.o"
+  "CMakeFiles/ablation_onoff_slowstart.dir/ablation_onoff_slowstart.cpp.o.d"
+  "ablation_onoff_slowstart"
+  "ablation_onoff_slowstart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_onoff_slowstart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

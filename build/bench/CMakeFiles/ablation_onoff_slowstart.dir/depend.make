@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_onoff_slowstart.
+# This may be replaced when dependencies are built.

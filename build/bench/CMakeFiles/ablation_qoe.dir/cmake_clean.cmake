@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_qoe.dir/ablation_qoe.cpp.o"
+  "CMakeFiles/ablation_qoe.dir/ablation_qoe.cpp.o.d"
+  "ablation_qoe"
+  "ablation_qoe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_qoe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_rmin560.dir/ablation_rmin560.cpp.o"
+  "CMakeFiles/ablation_rmin560.dir/ablation_rmin560.cpp.o.d"
+  "ablation_rmin560"
+  "ablation_rmin560.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rmin560.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

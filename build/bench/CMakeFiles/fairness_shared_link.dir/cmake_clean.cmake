@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fairness_shared_link.dir/fairness_shared_link.cpp.o"
+  "CMakeFiles/fairness_shared_link.dir/fairness_shared_link.cpp.o.d"
+  "fairness_shared_link"
+  "fairness_shared_link.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fairness_shared_link.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

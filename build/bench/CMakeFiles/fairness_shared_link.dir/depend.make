@@ -1,0 +1,2 @@
+# Empty dependencies file for fairness_shared_link.
+# This may be replaced when dependencies are built.

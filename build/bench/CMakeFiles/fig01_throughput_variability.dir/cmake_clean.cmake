@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_throughput_variability.dir/fig01_throughput_variability.cpp.o"
+  "CMakeFiles/fig01_throughput_variability.dir/fig01_throughput_variability.cpp.o.d"
+  "fig01_throughput_variability"
+  "fig01_throughput_variability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_throughput_variability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_rate_map.dir/fig06_rate_map.cpp.o"
+  "CMakeFiles/fig06_rate_map.dir/fig06_rate_map.cpp.o.d"
+  "fig06_rate_map"
+  "fig06_rate_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_rate_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_rebuffer_bba0.dir/fig07_rebuffer_bba0.cpp.o"
+  "CMakeFiles/fig07_rebuffer_bba0.dir/fig07_rebuffer_bba0.cpp.o.d"
+  "fig07_rebuffer_bba0"
+  "fig07_rebuffer_bba0.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_rebuffer_bba0.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

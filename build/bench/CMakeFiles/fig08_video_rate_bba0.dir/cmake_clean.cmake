@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_video_rate_bba0.dir/fig08_video_rate_bba0.cpp.o"
+  "CMakeFiles/fig08_video_rate_bba0.dir/fig08_video_rate_bba0.cpp.o.d"
+  "fig08_video_rate_bba0"
+  "fig08_video_rate_bba0.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_video_rate_bba0.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig10_vbr_chunk_sizes.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_reservoir_calc.dir/fig12_reservoir_calc.cpp.o"
+  "CMakeFiles/fig12_reservoir_calc.dir/fig12_reservoir_calc.cpp.o.d"
+  "fig12_reservoir_calc"
+  "fig12_reservoir_calc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_reservoir_calc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_chunk_map.dir/fig13_chunk_map.cpp.o"
+  "CMakeFiles/fig13_chunk_map.dir/fig13_chunk_map.cpp.o.d"
+  "fig13_chunk_map"
+  "fig13_chunk_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_chunk_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

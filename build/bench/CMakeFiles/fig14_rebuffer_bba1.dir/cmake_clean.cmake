@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_rebuffer_bba1.dir/fig14_rebuffer_bba1.cpp.o"
+  "CMakeFiles/fig14_rebuffer_bba1.dir/fig14_rebuffer_bba1.cpp.o.d"
+  "fig14_rebuffer_bba1"
+  "fig14_rebuffer_bba1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_rebuffer_bba1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_video_rate_bba1.dir/fig15_video_rate_bba1.cpp.o"
+  "CMakeFiles/fig15_video_rate_bba1.dir/fig15_video_rate_bba1.cpp.o.d"
+  "fig15_video_rate_bba1"
+  "fig15_video_rate_bba1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_video_rate_bba1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

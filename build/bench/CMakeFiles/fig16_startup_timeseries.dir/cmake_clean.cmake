@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_startup_timeseries.dir/fig16_startup_timeseries.cpp.o"
+  "CMakeFiles/fig16_startup_timeseries.dir/fig16_startup_timeseries.cpp.o.d"
+  "fig16_startup_timeseries"
+  "fig16_startup_timeseries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_startup_timeseries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_video_rate_bba2.dir/fig17_video_rate_bba2.cpp.o"
+  "CMakeFiles/fig17_video_rate_bba2.dir/fig17_video_rate_bba2.cpp.o.d"
+  "fig17_video_rate_bba2"
+  "fig17_video_rate_bba2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_video_rate_bba2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig17_video_rate_bba2.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_steady_state_rate.dir/fig18_steady_state_rate.cpp.o"
+  "CMakeFiles/fig18_steady_state_rate.dir/fig18_steady_state_rate.cpp.o.d"
+  "fig18_steady_state_rate"
+  "fig18_steady_state_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_steady_state_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_rebuffer_bba2.dir/fig19_rebuffer_bba2.cpp.o"
+  "CMakeFiles/fig19_rebuffer_bba2.dir/fig19_rebuffer_bba2.cpp.o.d"
+  "fig19_rebuffer_bba2"
+  "fig19_rebuffer_bba2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_rebuffer_bba2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_switch_rate_chunkmap.dir/fig20_switch_rate_chunkmap.cpp.o"
+  "CMakeFiles/fig20_switch_rate_chunkmap.dir/fig20_switch_rate_chunkmap.cpp.o.d"
+  "fig20_switch_rate_chunkmap"
+  "fig20_switch_rate_chunkmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_switch_rate_chunkmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

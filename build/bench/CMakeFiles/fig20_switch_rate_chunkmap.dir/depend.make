@@ -1,0 +1,2 @@
+# Empty dependencies file for fig20_switch_rate_chunkmap.
+# This may be replaced when dependencies are built.

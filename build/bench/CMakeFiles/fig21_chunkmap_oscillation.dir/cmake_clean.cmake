@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig21_chunkmap_oscillation.dir/fig21_chunkmap_oscillation.cpp.o"
+  "CMakeFiles/fig21_chunkmap_oscillation.dir/fig21_chunkmap_oscillation.cpp.o.d"
+  "fig21_chunkmap_oscillation"
+  "fig21_chunkmap_oscillation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig21_chunkmap_oscillation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig22_switch_rate_others.dir/fig22_switch_rate_others.cpp.o"
+  "CMakeFiles/fig22_switch_rate_others.dir/fig22_switch_rate_others.cpp.o.d"
+  "fig22_switch_rate_others"
+  "fig22_switch_rate_others.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig22_switch_rate_others.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig23_video_rate_others.dir/fig23_video_rate_others.cpp.o"
+  "CMakeFiles/fig23_video_rate_others.dir/fig23_video_rate_others.cpp.o.d"
+  "fig23_video_rate_others"
+  "fig23_video_rate_others.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig23_video_rate_others.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig24_rebuffer_others.dir/fig24_rebuffer_others.cpp.o"
+  "CMakeFiles/fig24_rebuffer_others.dir/fig24_rebuffer_others.cpp.o.d"
+  "fig24_rebuffer_others"
+  "fig24_rebuffer_others.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig24_rebuffer_others.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig24_rebuffer_others.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_abr_decision.dir/micro_abr_decision.cpp.o"
+  "CMakeFiles/micro_abr_decision.dir/micro_abr_decision.cpp.o.d"
+  "micro_abr_decision"
+  "micro_abr_decision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_abr_decision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

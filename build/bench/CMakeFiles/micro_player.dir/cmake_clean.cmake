@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_player.dir/micro_player.cpp.o"
+  "CMakeFiles/micro_player.dir/micro_player.cpp.o.d"
+  "micro_player"
+  "micro_player.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_player.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_rate_map.dir/custom_rate_map.cpp.o"
+  "CMakeFiles/custom_rate_map.dir/custom_rate_map.cpp.o.d"
+  "custom_rate_map"
+  "custom_rate_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_rate_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seek_behavior.dir/seek_behavior.cpp.o"
+  "CMakeFiles/seek_behavior.dir/seek_behavior.cpp.o.d"
+  "seek_behavior"
+  "seek_behavior.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seek_behavior.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/abr/abr.cpp" "src/abr/CMakeFiles/bba_abr.dir/abr.cpp.o" "gcc" "src/abr/CMakeFiles/bba_abr.dir/abr.cpp.o.d"
+  "/root/repo/src/abr/baselines.cpp" "src/abr/CMakeFiles/bba_abr.dir/baselines.cpp.o" "gcc" "src/abr/CMakeFiles/bba_abr.dir/baselines.cpp.o.d"
+  "/root/repo/src/abr/bola.cpp" "src/abr/CMakeFiles/bba_abr.dir/bola.cpp.o" "gcc" "src/abr/CMakeFiles/bba_abr.dir/bola.cpp.o.d"
+  "/root/repo/src/abr/control.cpp" "src/abr/CMakeFiles/bba_abr.dir/control.cpp.o" "gcc" "src/abr/CMakeFiles/bba_abr.dir/control.cpp.o.d"
+  "/root/repo/src/abr/related_work.cpp" "src/abr/CMakeFiles/bba_abr.dir/related_work.cpp.o" "gcc" "src/abr/CMakeFiles/bba_abr.dir/related_work.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/media/CMakeFiles/bba_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/bba_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bba_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/bba_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bba_abr.dir/abr.cpp.o"
+  "CMakeFiles/bba_abr.dir/abr.cpp.o.d"
+  "CMakeFiles/bba_abr.dir/baselines.cpp.o"
+  "CMakeFiles/bba_abr.dir/baselines.cpp.o.d"
+  "CMakeFiles/bba_abr.dir/bola.cpp.o"
+  "CMakeFiles/bba_abr.dir/bola.cpp.o.d"
+  "CMakeFiles/bba_abr.dir/control.cpp.o"
+  "CMakeFiles/bba_abr.dir/control.cpp.o.d"
+  "CMakeFiles/bba_abr.dir/related_work.cpp.o"
+  "CMakeFiles/bba_abr.dir/related_work.cpp.o.d"
+  "libbba_abr.a"
+  "libbba_abr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bba_abr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bba0.cpp" "src/core/CMakeFiles/bba_core.dir/bba0.cpp.o" "gcc" "src/core/CMakeFiles/bba_core.dir/bba0.cpp.o.d"
+  "/root/repo/src/core/bba1.cpp" "src/core/CMakeFiles/bba_core.dir/bba1.cpp.o" "gcc" "src/core/CMakeFiles/bba_core.dir/bba1.cpp.o.d"
+  "/root/repo/src/core/bba2.cpp" "src/core/CMakeFiles/bba_core.dir/bba2.cpp.o" "gcc" "src/core/CMakeFiles/bba_core.dir/bba2.cpp.o.d"
+  "/root/repo/src/core/bba_others.cpp" "src/core/CMakeFiles/bba_core.dir/bba_others.cpp.o" "gcc" "src/core/CMakeFiles/bba_core.dir/bba_others.cpp.o.d"
+  "/root/repo/src/core/chunk_map.cpp" "src/core/CMakeFiles/bba_core.dir/chunk_map.cpp.o" "gcc" "src/core/CMakeFiles/bba_core.dir/chunk_map.cpp.o.d"
+  "/root/repo/src/core/map_families.cpp" "src/core/CMakeFiles/bba_core.dir/map_families.cpp.o" "gcc" "src/core/CMakeFiles/bba_core.dir/map_families.cpp.o.d"
+  "/root/repo/src/core/rate_map.cpp" "src/core/CMakeFiles/bba_core.dir/rate_map.cpp.o" "gcc" "src/core/CMakeFiles/bba_core.dir/rate_map.cpp.o.d"
+  "/root/repo/src/core/reservoir.cpp" "src/core/CMakeFiles/bba_core.dir/reservoir.cpp.o" "gcc" "src/core/CMakeFiles/bba_core.dir/reservoir.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/abr/CMakeFiles/bba_abr.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/bba_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bba_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/bba_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/bba_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bba_core.dir/bba0.cpp.o"
+  "CMakeFiles/bba_core.dir/bba0.cpp.o.d"
+  "CMakeFiles/bba_core.dir/bba1.cpp.o"
+  "CMakeFiles/bba_core.dir/bba1.cpp.o.d"
+  "CMakeFiles/bba_core.dir/bba2.cpp.o"
+  "CMakeFiles/bba_core.dir/bba2.cpp.o.d"
+  "CMakeFiles/bba_core.dir/bba_others.cpp.o"
+  "CMakeFiles/bba_core.dir/bba_others.cpp.o.d"
+  "CMakeFiles/bba_core.dir/chunk_map.cpp.o"
+  "CMakeFiles/bba_core.dir/chunk_map.cpp.o.d"
+  "CMakeFiles/bba_core.dir/map_families.cpp.o"
+  "CMakeFiles/bba_core.dir/map_families.cpp.o.d"
+  "CMakeFiles/bba_core.dir/rate_map.cpp.o"
+  "CMakeFiles/bba_core.dir/rate_map.cpp.o.d"
+  "CMakeFiles/bba_core.dir/reservoir.cpp.o"
+  "CMakeFiles/bba_core.dir/reservoir.cpp.o.d"
+  "libbba_core.a"
+  "libbba_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bba_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exp/abtest.cpp" "src/exp/CMakeFiles/bba_exp.dir/abtest.cpp.o" "gcc" "src/exp/CMakeFiles/bba_exp.dir/abtest.cpp.o.d"
+  "/root/repo/src/exp/dump.cpp" "src/exp/CMakeFiles/bba_exp.dir/dump.cpp.o" "gcc" "src/exp/CMakeFiles/bba_exp.dir/dump.cpp.o.d"
+  "/root/repo/src/exp/population.cpp" "src/exp/CMakeFiles/bba_exp.dir/population.cpp.o" "gcc" "src/exp/CMakeFiles/bba_exp.dir/population.cpp.o.d"
+  "/root/repo/src/exp/report.cpp" "src/exp/CMakeFiles/bba_exp.dir/report.cpp.o" "gcc" "src/exp/CMakeFiles/bba_exp.dir/report.cpp.o.d"
+  "/root/repo/src/exp/workload.cpp" "src/exp/CMakeFiles/bba_exp.dir/workload.cpp.o" "gcc" "src/exp/CMakeFiles/bba_exp.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bba_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bba_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/abr/CMakeFiles/bba_abr.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/bba_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/bba_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/bba_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bba_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

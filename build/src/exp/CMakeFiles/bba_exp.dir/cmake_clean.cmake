@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bba_exp.dir/abtest.cpp.o"
+  "CMakeFiles/bba_exp.dir/abtest.cpp.o.d"
+  "CMakeFiles/bba_exp.dir/dump.cpp.o"
+  "CMakeFiles/bba_exp.dir/dump.cpp.o.d"
+  "CMakeFiles/bba_exp.dir/population.cpp.o"
+  "CMakeFiles/bba_exp.dir/population.cpp.o.d"
+  "CMakeFiles/bba_exp.dir/report.cpp.o"
+  "CMakeFiles/bba_exp.dir/report.cpp.o.d"
+  "CMakeFiles/bba_exp.dir/workload.cpp.o"
+  "CMakeFiles/bba_exp.dir/workload.cpp.o.d"
+  "libbba_exp.a"
+  "libbba_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bba_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbba_exp.a"
+)

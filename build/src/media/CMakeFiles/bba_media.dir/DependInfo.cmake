@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/media/chunk_table.cpp" "src/media/CMakeFiles/bba_media.dir/chunk_table.cpp.o" "gcc" "src/media/CMakeFiles/bba_media.dir/chunk_table.cpp.o.d"
+  "/root/repo/src/media/encoding_ladder.cpp" "src/media/CMakeFiles/bba_media.dir/encoding_ladder.cpp.o" "gcc" "src/media/CMakeFiles/bba_media.dir/encoding_ladder.cpp.o.d"
+  "/root/repo/src/media/table_io.cpp" "src/media/CMakeFiles/bba_media.dir/table_io.cpp.o" "gcc" "src/media/CMakeFiles/bba_media.dir/table_io.cpp.o.d"
+  "/root/repo/src/media/vbr.cpp" "src/media/CMakeFiles/bba_media.dir/vbr.cpp.o" "gcc" "src/media/CMakeFiles/bba_media.dir/vbr.cpp.o.d"
+  "/root/repo/src/media/video.cpp" "src/media/CMakeFiles/bba_media.dir/video.cpp.o" "gcc" "src/media/CMakeFiles/bba_media.dir/video.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bba_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/bba_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bba_media.dir/chunk_table.cpp.o"
+  "CMakeFiles/bba_media.dir/chunk_table.cpp.o.d"
+  "CMakeFiles/bba_media.dir/encoding_ladder.cpp.o"
+  "CMakeFiles/bba_media.dir/encoding_ladder.cpp.o.d"
+  "CMakeFiles/bba_media.dir/table_io.cpp.o"
+  "CMakeFiles/bba_media.dir/table_io.cpp.o.d"
+  "CMakeFiles/bba_media.dir/vbr.cpp.o"
+  "CMakeFiles/bba_media.dir/vbr.cpp.o.d"
+  "CMakeFiles/bba_media.dir/video.cpp.o"
+  "CMakeFiles/bba_media.dir/video.cpp.o.d"
+  "libbba_media.a"
+  "libbba_media.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bba_media.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/capacity_trace.cpp" "src/net/CMakeFiles/bba_net.dir/capacity_trace.cpp.o" "gcc" "src/net/CMakeFiles/bba_net.dir/capacity_trace.cpp.o.d"
+  "/root/repo/src/net/estimators.cpp" "src/net/CMakeFiles/bba_net.dir/estimators.cpp.o" "gcc" "src/net/CMakeFiles/bba_net.dir/estimators.cpp.o.d"
+  "/root/repo/src/net/tcp_model.cpp" "src/net/CMakeFiles/bba_net.dir/tcp_model.cpp.o" "gcc" "src/net/CMakeFiles/bba_net.dir/tcp_model.cpp.o.d"
+  "/root/repo/src/net/trace_gen.cpp" "src/net/CMakeFiles/bba_net.dir/trace_gen.cpp.o" "gcc" "src/net/CMakeFiles/bba_net.dir/trace_gen.cpp.o.d"
+  "/root/repo/src/net/trace_io.cpp" "src/net/CMakeFiles/bba_net.dir/trace_io.cpp.o" "gcc" "src/net/CMakeFiles/bba_net.dir/trace_io.cpp.o.d"
+  "/root/repo/src/net/trace_transform.cpp" "src/net/CMakeFiles/bba_net.dir/trace_transform.cpp.o" "gcc" "src/net/CMakeFiles/bba_net.dir/trace_transform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bba_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/bba_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

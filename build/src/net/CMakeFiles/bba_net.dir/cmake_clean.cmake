@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bba_net.dir/capacity_trace.cpp.o"
+  "CMakeFiles/bba_net.dir/capacity_trace.cpp.o.d"
+  "CMakeFiles/bba_net.dir/estimators.cpp.o"
+  "CMakeFiles/bba_net.dir/estimators.cpp.o.d"
+  "CMakeFiles/bba_net.dir/tcp_model.cpp.o"
+  "CMakeFiles/bba_net.dir/tcp_model.cpp.o.d"
+  "CMakeFiles/bba_net.dir/trace_gen.cpp.o"
+  "CMakeFiles/bba_net.dir/trace_gen.cpp.o.d"
+  "CMakeFiles/bba_net.dir/trace_io.cpp.o"
+  "CMakeFiles/bba_net.dir/trace_io.cpp.o.d"
+  "CMakeFiles/bba_net.dir/trace_transform.cpp.o"
+  "CMakeFiles/bba_net.dir/trace_transform.cpp.o.d"
+  "libbba_net.a"
+  "libbba_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bba_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

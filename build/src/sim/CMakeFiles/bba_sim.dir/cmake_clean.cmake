@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bba_sim.dir/metrics.cpp.o"
+  "CMakeFiles/bba_sim.dir/metrics.cpp.o.d"
+  "CMakeFiles/bba_sim.dir/player.cpp.o"
+  "CMakeFiles/bba_sim.dir/player.cpp.o.d"
+  "CMakeFiles/bba_sim.dir/qoe.cpp.o"
+  "CMakeFiles/bba_sim.dir/qoe.cpp.o.d"
+  "CMakeFiles/bba_sim.dir/shared_link.cpp.o"
+  "CMakeFiles/bba_sim.dir/shared_link.cpp.o.d"
+  "libbba_sim.a"
+  "libbba_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bba_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bba_stats.dir/bootstrap.cpp.o"
+  "CMakeFiles/bba_stats.dir/bootstrap.cpp.o.d"
+  "CMakeFiles/bba_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/bba_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/bba_stats.dir/histogram.cpp.o"
+  "CMakeFiles/bba_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/bba_stats.dir/ttest.cpp.o"
+  "CMakeFiles/bba_stats.dir/ttest.cpp.o.d"
+  "libbba_stats.a"
+  "libbba_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bba_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

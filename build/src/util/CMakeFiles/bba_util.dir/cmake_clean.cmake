@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bba_util.dir/csv.cpp.o"
+  "CMakeFiles/bba_util.dir/csv.cpp.o.d"
+  "CMakeFiles/bba_util.dir/rng.cpp.o"
+  "CMakeFiles/bba_util.dir/rng.cpp.o.d"
+  "CMakeFiles/bba_util.dir/table.cpp.o"
+  "CMakeFiles/bba_util.dir/table.cpp.o.d"
+  "libbba_util.a"
+  "libbba_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bba_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_abr_bola.dir/test_abr_bola.cpp.o"
+  "CMakeFiles/test_abr_bola.dir/test_abr_bola.cpp.o.d"
+  "test_abr_bola"
+  "test_abr_bola.pdb"
+  "test_abr_bola[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_abr_bola.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_abr_related.dir/test_abr_related.cpp.o"
+  "CMakeFiles/test_abr_related.dir/test_abr_related.cpp.o.d"
+  "test_abr_related"
+  "test_abr_related.pdb"
+  "test_abr_related[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_abr_related.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

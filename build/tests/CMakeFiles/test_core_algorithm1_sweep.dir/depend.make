@@ -1,0 +1,2 @@
+# Empty dependencies file for test_core_algorithm1_sweep.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_bba2.dir/test_core_bba2.cpp.o"
+  "CMakeFiles/test_core_bba2.dir/test_core_bba2.cpp.o.d"
+  "test_core_bba2"
+  "test_core_bba2.pdb"
+  "test_core_bba2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_bba2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

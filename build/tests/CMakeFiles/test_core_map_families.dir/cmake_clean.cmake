@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_map_families.dir/test_core_map_families.cpp.o"
+  "CMakeFiles/test_core_map_families.dir/test_core_map_families.cpp.o.d"
+  "test_core_map_families"
+  "test_core_map_families.pdb"
+  "test_core_map_families[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_map_families.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_core_map_families.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_maps.dir/test_core_maps.cpp.o"
+  "CMakeFiles/test_core_maps.dir/test_core_maps.cpp.o.d"
+  "test_core_maps"
+  "test_core_maps.pdb"
+  "test_core_maps[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_maps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_others.dir/test_core_others.cpp.o"
+  "CMakeFiles/test_core_others.dir/test_core_others.cpp.o.d"
+  "test_core_others"
+  "test_core_others.pdb"
+  "test_core_others[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_others.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

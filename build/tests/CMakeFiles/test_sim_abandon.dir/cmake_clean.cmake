@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_abandon.dir/test_sim_abandon.cpp.o"
+  "CMakeFiles/test_sim_abandon.dir/test_sim_abandon.cpp.o.d"
+  "test_sim_abandon"
+  "test_sim_abandon.pdb"
+  "test_sim_abandon[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_abandon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

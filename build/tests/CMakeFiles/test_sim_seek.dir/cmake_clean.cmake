@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_seek.dir/test_sim_seek.cpp.o"
+  "CMakeFiles/test_sim_seek.dir/test_sim_seek.cpp.o.d"
+  "test_sim_seek"
+  "test_sim_seek.pdb"
+  "test_sim_seek[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_seek.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_shared.dir/test_sim_shared.cpp.o"
+  "CMakeFiles/test_sim_shared.dir/test_sim_shared.cpp.o.d"
+  "test_sim_shared"
+  "test_sim_shared.pdb"
+  "test_sim_shared[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_shared.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

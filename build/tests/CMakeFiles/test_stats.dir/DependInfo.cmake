@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/test_stats.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/test_stats.dir/test_stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/bba_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/bba_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bba_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/abr/CMakeFiles/bba_abr.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/bba_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/bba_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/bba_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bba_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_stats_bootstrap[1]_include.cmake")
+include("/root/repo/build/tests/test_media[1]_include.cmake")
+include("/root/repo/build/tests/test_media_io[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_net_transform[1]_include.cmake")
+include("/root/repo/build/tests/test_net_tcp[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_seek[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_shared[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_abandon[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_cross_features[1]_include.cmake")
+include("/root/repo/build/tests/test_abr[1]_include.cmake")
+include("/root/repo/build/tests/test_abr_related[1]_include.cmake")
+include("/root/repo/build/tests/test_abr_bola[1]_include.cmake")
+include("/root/repo/build/tests/test_core_maps[1]_include.cmake")
+include("/root/repo/build/tests/test_core_map_families[1]_include.cmake")
+include("/root/repo/build/tests/test_core_bba0[1]_include.cmake")
+include("/root/repo/build/tests/test_core_algorithm1_sweep[1]_include.cmake")
+include("/root/repo/build/tests/test_core_bba1[1]_include.cmake")
+include("/root/repo/build/tests/test_core_bba1_sweep[1]_include.cmake")
+include("/root/repo/build/tests/test_core_bba2[1]_include.cmake")
+include("/root/repo/build/tests/test_core_others[1]_include.cmake")
+include("/root/repo/build/tests/test_exp[1]_include.cmake")
+include("/root/repo/build/tests/test_player_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")

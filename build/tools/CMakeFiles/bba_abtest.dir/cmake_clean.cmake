@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bba_abtest.dir/abtest_cli.cpp.o"
+  "CMakeFiles/bba_abtest.dir/abtest_cli.cpp.o.d"
+  "bba_abtest"
+  "bba_abtest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bba_abtest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

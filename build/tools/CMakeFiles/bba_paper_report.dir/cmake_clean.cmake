@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bba_paper_report.dir/paper_report_cli.cpp.o"
+  "CMakeFiles/bba_paper_report.dir/paper_report_cli.cpp.o.d"
+  "bba_paper_report"
+  "bba_paper_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bba_paper_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bba_session.dir/bba_session_cli.cpp.o"
+  "CMakeFiles/bba_session.dir/bba_session_cli.cpp.o.d"
+  "bba_session"
+  "bba_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bba_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
