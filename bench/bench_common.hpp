@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -16,12 +17,31 @@
 
 namespace bba::bench {
 
+/// Session-simulation threads for the benches: BBA_THREADS if set, else 0
+/// (= all hardware threads). Results are bit-identical for every value.
+inline std::size_t bench_threads() {
+  const char* env = std::getenv("BBA_THREADS");
+  if (env == nullptr || *env == '\0') return 0;
+  return static_cast<std::size_t>(std::atoi(env));
+}
+
+/// Experiment seed for the benches: BBA_SEED if set, else the reference
+/// realization. Like the paper's fixed A/B weekends, the figures are one
+/// concrete realization of the population; the shape checks hold for most
+/// seeds but can flip on unlucky draws of the noisier peak-window ratios.
+inline std::uint64_t bench_seed() {
+  const char* env = std::getenv("BBA_SEED");
+  if (env == nullptr || *env == '\0') return 2014;
+  return static_cast<std::uint64_t>(std::atoll(env));
+}
+
 /// Standard experiment dimensions used by every figure bench.
 inline exp::AbTestConfig standard_config() {
   exp::AbTestConfig cfg;
   cfg.sessions_per_window = 120;
   cfg.days = 3;
-  cfg.seed = 2013;
+  cfg.seed = bench_seed();
+  cfg.threads = bench_threads();
   return cfg;
 }
 

@@ -6,6 +6,8 @@
 #include "core/bba1.hpp"
 #include "core/bba2.hpp"
 #include "core/bba_others.hpp"
+#include "exp/session_key.hpp"
+#include "runtime/session_executor.hpp"
 #include "sim/metrics.hpp"
 #include "util/assert.hpp"
 
@@ -95,7 +97,6 @@ AbTestResult run_ab_test(const std::vector<Group>& groups,
              "experiment dimensions must be >= 1");
 
   const Population population(cfg.population);
-  util::Rng master(cfg.seed);
 
   AbTestResult result;
   result.group_names.reserve(groups.size());
@@ -105,35 +106,51 @@ AbTestResult run_ab_test(const std::vector<Group>& groups,
       std::vector<std::vector<WindowMetrics>>(
           cfg.days, std::vector<WindowMetrics>(kWindowsPerDay)));
 
-  for (std::size_t day = 0; day < cfg.days; ++day) {
-    for (std::size_t window = 0; window < kWindowsPerDay; ++window) {
-      for (std::size_t user = 0; user < cfg.sessions_per_window; ++user) {
-        // Common random numbers: the environment stream is a pure function
-        // of (seed, day, window, user) and shared by all groups.
-        const std::uint64_t stream =
-            (day * kWindowsPerDay + window) * cfg.sessions_per_window + user;
-        util::Rng env_rng = master.fork(stream);
-        const UserEnvironment env =
-            population.sample_environment(window, env_rng);
-        const net::CapacityTrace trace = population.make_trace(env, env_rng);
-        const SessionSpec spec =
-            sample_session(library, cfg.workload, env_rng);
+  // One task per (day, window, session) triple; every group replays the
+  // task's shared environment (common random numbers). Tasks write their
+  // per-group metrics into disjoint slots; the fold then accumulates them
+  // in canonical index order -- the identical floating-point sequence the
+  // sequential loop performs, so the result is bit-independent of the
+  // thread count.
+  const std::size_t n_groups = groups.size();
+  const std::size_t per_day = kWindowsPerDay * cfg.sessions_per_window;
+  const std::size_t n_tasks = cfg.days * per_day;
+  std::vector<sim::SessionMetrics> metrics(n_tasks * n_groups);
+
+  runtime::SessionExecutor executor(cfg.threads);
+  executor.execute(
+      n_tasks,
+      [&](std::size_t task) {
+        const std::size_t day = task / per_day;
+        const std::size_t window = (task % per_day) / cfg.sessions_per_window;
+        const std::size_t user = task % cfg.sessions_per_window;
+        // Common random numbers: every stream is a pure function of
+        // (seed, day, window, user) and shared by all groups.
+        const SessionKey key{cfg.seed, day, window, user};
+        const UserEnvironment env = population.environment_for(key);
+        const net::CapacityTrace trace = population.trace_for(env, key);
+        const SessionSpec spec = session_for(library, cfg.workload, key);
         const media::Video& video = library.at(spec.video_index);
 
         sim::PlayerConfig player = cfg.player;
         player.watch_duration_s = spec.watch_duration_s;
 
-        for (std::size_t g = 0; g < groups.size(); ++g) {
+        for (std::size_t g = 0; g < n_groups; ++g) {
           auto algorithm = groups[g].factory();
           BBA_ASSERT(algorithm != nullptr, "group factory returned null");
           const sim::SessionResult session =
               sim::simulate_session(video, trace, *algorithm, player);
-          accumulate(result.cells[g][day][window],
-                     sim::compute_metrics(session));
+          metrics[task * n_groups + g] = sim::compute_metrics(session);
         }
-      }
-    }
-  }
+      },
+      [&](std::size_t task) {
+        const std::size_t day = task / per_day;
+        const std::size_t window = (task % per_day) / cfg.sessions_per_window;
+        for (std::size_t g = 0; g < n_groups; ++g) {
+          accumulate(result.cells[g][day][window],
+                     metrics[task * n_groups + g]);
+        }
+      });
   return result;
 }
 

@@ -22,7 +22,9 @@
 
 namespace bba::exp {
 
-/// Factory producing a fresh ABR instance per session.
+/// Factory producing a fresh ABR instance per session. Called concurrently
+/// from the harness's worker threads, so it must be thread-safe -- the
+/// stateless `make_*_factory()` lambdas below all are.
 using AbrFactory = std::function<std::unique_ptr<abr::RateAdaptation>()>;
 
 /// A named experiment group.
@@ -54,7 +56,13 @@ struct WindowMetrics {
 struct AbTestConfig {
   std::size_t sessions_per_window = 60;  ///< per group (paired across groups)
   std::size_t days = 3;                  ///< the paper ran Fri-Mon weekends
-  std::uint64_t seed = 2013;
+  /// Reference realization: every stream is a pure function of this seed
+  /// and the session's grid coordinates (see exp/session_key.hpp).
+  std::uint64_t seed = 2014;
+  /// Worker threads simulating sessions: 0 = hardware concurrency, 1 =
+  /// sequential. The result is bit-identical for every value (see
+  /// docs/runtime.md); this only changes wall-clock time.
+  std::size_t threads = 0;
   PopulationConfig population;
   WorkloadConfig workload;
   sim::PlayerConfig player;
@@ -83,7 +91,9 @@ struct AbTestResult {
 
 /// Runs the experiment: for each (day, window, user) a shared environment
 /// and session spec are drawn, then every group streams it with its own
-/// ABR. Deterministic in `cfg.seed`.
+/// ABR. Sessions are simulated in parallel on `cfg.threads` threads and
+/// folded in canonical index order, so the result is deterministic in
+/// `cfg.seed` alone -- byte-for-byte independent of the thread count.
 AbTestResult run_ab_test(const std::vector<Group>& groups,
                          const media::VideoLibrary& library,
                          const AbTestConfig& cfg);

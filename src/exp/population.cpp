@@ -75,4 +75,15 @@ net::CapacityTrace Population::make_trace(const UserEnvironment& env,
   return trace;
 }
 
+UserEnvironment Population::environment_for(const SessionKey& key) const {
+  util::Rng rng = session_rng(key, StreamClass::kEnvironment);
+  return sample_environment(static_cast<std::size_t>(key.window), rng);
+}
+
+net::CapacityTrace Population::trace_for(const UserEnvironment& env,
+                                         const SessionKey& key) const {
+  util::Rng rng = session_rng(key, StreamClass::kTrace);
+  return make_trace(env, rng);
+}
+
 }  // namespace bba::exp

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "exp/session_key.hpp"
 #include "net/capacity_trace.hpp"
 #include "net/trace_gen.hpp"
 #include "util/rng.hpp"
@@ -117,6 +118,17 @@ class Population {
   /// Builds the session's capacity trace from its environment.
   net::CapacityTrace make_trace(const UserEnvironment& env,
                                 util::Rng& rng) const;
+
+  /// Coordinate-keyed variant: the environment is a pure function of the
+  /// key (stream class kEnvironment), independent of any other session or
+  /// of how many draws preceded it. The window is taken from the key.
+  UserEnvironment environment_for(const SessionKey& key) const;
+
+  /// Coordinate-keyed variant of make_trace (stream class kTrace): the
+  /// trace depends only on (env, key), not on the environment phase's
+  /// draw count.
+  net::CapacityTrace trace_for(const UserEnvironment& env,
+                               const SessionKey& key) const;
 
  private:
   PopulationConfig cfg_;

@@ -1,0 +1,42 @@
+// Coordinate-keyed RNG streams for experiment sessions.
+//
+// Every random quantity of a session is derived from its grid coordinates
+// (seed, day, window, session) plus a stream class -- never from how many
+// sessions or draws came before it. That is what makes (a) parallel
+// execution bit-identical to sequential, (b) a single session exactly
+// reproducible from its coordinates (bba_session --repro), and (c) the
+// environment of session k invariant under changes to sessions_per_window
+// or to the draw count of another phase.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace bba::exp {
+
+/// Grid coordinates identifying one simulated session of an experiment.
+struct SessionKey {
+  std::uint64_t seed = 0;     ///< experiment seed (AbTestConfig::seed)
+  std::uint64_t day = 0;
+  std::uint64_t window = 0;   ///< two-hour GMT window index
+  std::uint64_t session = 0;  ///< session index within (day, window)
+};
+
+/// One substream per phase of session construction, so a phase's draw
+/// count can never shift another phase's stream.
+enum class StreamClass : std::uint64_t {
+  kEnvironment = 1,  ///< tier, base capacity, congestion state
+  kTrace = 2,        ///< Markov capacity trace + outages
+  kWorkload = 3,     ///< title choice and watch duration
+};
+
+/// The RNG of one (session, phase): a pure function of the key, derived by
+/// counter-based substream splitting (util::Rng::substream). No shared
+/// generator, no sequencing, safe to call from any thread in any order.
+inline util::Rng session_rng(const SessionKey& key, StreamClass phase) {
+  return util::Rng::substream(key.seed, key.day, key.window, key.session,
+                              static_cast<std::uint64_t>(phase));
+}
+
+}  // namespace bba::exp

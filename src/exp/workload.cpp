@@ -23,4 +23,10 @@ SessionSpec sample_session(const media::VideoLibrary& library,
   return spec;
 }
 
+SessionSpec session_for(const media::VideoLibrary& library,
+                        const WorkloadConfig& cfg, const SessionKey& key) {
+  util::Rng rng = session_rng(key, StreamClass::kWorkload);
+  return sample_session(library, cfg, rng);
+}
+
 }  // namespace bba::exp

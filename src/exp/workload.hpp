@@ -1,6 +1,7 @@
 // Session workload: which title a user watches and for how long.
 #pragma once
 
+#include "exp/session_key.hpp"
 #include "media/video.hpp"
 #include "util/rng.hpp"
 
@@ -25,5 +26,11 @@ struct WorkloadConfig {
 /// capped by the title length.
 SessionSpec sample_session(const media::VideoLibrary& library,
                            const WorkloadConfig& cfg, util::Rng& rng);
+
+/// Coordinate-keyed variant (stream class kWorkload): the session spec is
+/// a pure function of the key, unaffected by the environment and trace
+/// phases' draw counts.
+SessionSpec session_for(const media::VideoLibrary& library,
+                        const WorkloadConfig& cfg, const SessionKey& key);
 
 }  // namespace bba::exp

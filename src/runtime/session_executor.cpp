@@ -1,0 +1,17 @@
+#include "runtime/session_executor.hpp"
+
+#include "util/assert.hpp"
+
+namespace bba::runtime {
+
+void SessionExecutor::execute(std::size_t count,
+                              const std::function<void(std::size_t)>& produce,
+                              const std::function<void(std::size_t)>& fold,
+                              std::size_t grain) {
+  BBA_ASSERT(produce != nullptr && fold != nullptr,
+             "execute requires produce and fold");
+  pool_.parallel_for(0, count, grain, produce);
+  for (std::size_t i = 0; i < count; ++i) fold(i);
+}
+
+}  // namespace bba::runtime

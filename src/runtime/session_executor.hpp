@@ -1,0 +1,49 @@
+// Deterministic parallel execution of independent session cells.
+//
+// The A/B harness (and any future sweep) is a map-fold: simulate N
+// independent cells, then aggregate them. SessionExecutor parallelises the
+// map on a ThreadPool and keeps the fold sequential in canonical index
+// order, which makes the combined result bit-identical for every thread
+// count -- floating-point accumulation happens in exactly one order, the
+// index order, no matter how cells were scheduled.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "runtime/thread_pool.hpp"
+
+namespace bba::runtime {
+
+/// Runs `produce(i)` for every i in [0, count) on the pool (any thread,
+/// any order), then `fold(i)` for i = 0, 1, ..., count-1 sequentially on
+/// the calling thread.
+///
+/// Determinism contract: produce(i) must write only to slot i of storage
+/// the caller pre-sized before the call (and read only immutable shared
+/// state); fold reads those slots. Under that contract the result is a
+/// pure function of the inputs, independent of thread count and schedule.
+class SessionExecutor {
+ public:
+  /// threads == 0 selects hardware concurrency; threads == 1 is the
+  /// reference sequential schedule (no worker threads at all).
+  explicit SessionExecutor(std::size_t threads = 0) : pool_(threads) {}
+
+  /// Threads executing produce() calls (>= 1).
+  std::size_t threads() const { return pool_.size(); }
+
+  ThreadPool& pool() { return pool_; }
+
+  /// The deterministic map + ordered fold described above. `grain` is the
+  /// parallel_for chunk size (0 = default). Exceptions from produce()
+  /// propagate before any fold() runs; fold() runs only on full success.
+  void execute(std::size_t count,
+               const std::function<void(std::size_t)>& produce,
+               const std::function<void(std::size_t)>& fold,
+               std::size_t grain = 0);
+
+ private:
+  ThreadPool pool_;
+};
+
+}  // namespace bba::runtime

@@ -1,0 +1,113 @@
+#include "runtime/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace bba::runtime {
+
+std::size_t ThreadPool::hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<std::size_t>(n);
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) threads = hardware_threads();
+  workers_.reserve(threads - 1);
+  for (std::size_t i = 0; i + 1 < threads; ++i) {
+    workers_.emplace_back([this] { worker_main(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::run_chunks(Loop& loop) {
+  for (;;) {
+    const std::size_t start =
+        loop.next.fetch_add(loop.grain, std::memory_order_relaxed);
+    if (start >= loop.end) return;
+    if (loop.failed.load(std::memory_order_relaxed)) continue;  // drain
+    const std::size_t stop = std::min(loop.end, start + loop.grain);
+    try {
+      for (std::size_t i = start; i < stop; ++i) (*loop.body)(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(loop.error_mu);
+      if (!loop.error) loop.error = std::current_exception();
+      loop.failed.store(true, std::memory_order_relaxed);
+    }
+  }
+}
+
+void ThreadPool::worker_main() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    std::shared_ptr<Loop> loop;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      loop = loop_;
+    }
+    if (!loop) continue;  // loop already retired between notify and wake
+    loop->in_flight.fetch_add(1, std::memory_order_relaxed);
+    run_chunks(*loop);
+    if (loop->in_flight.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(mu_);
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              std::size_t grain,
+                              const std::function<void(std::size_t)>& body) {
+  BBA_ASSERT(body != nullptr, "parallel_for requires a body");
+  if (end <= begin) return;
+  const std::size_t count = end - begin;
+  if (grain == 0) {
+    // Aim for ~4 chunks per thread so dynamic scheduling can balance
+    // uneven bodies without excessive cursor contention.
+    grain = std::max<std::size_t>(1, count / (size() * 4));
+  }
+  // Run inline when there is nobody to share with or nothing to share.
+  if (workers_.empty() || count <= grain) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+
+  auto loop = std::make_shared<Loop>();
+  loop->next.store(begin, std::memory_order_relaxed);
+  loop->end = end;
+  loop->grain = grain;
+  loop->body = &body;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    loop_ = loop;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+
+  run_chunks(*loop);  // the caller participates
+
+  {
+    // All indices are claimed once run_chunks returns; wait for workers
+    // still executing their final chunk. Workers that wake later claim
+    // nothing (the cursor is past `end`) and never touch `body`.
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] {
+      return loop->in_flight.load(std::memory_order_acquire) == 0;
+    });
+    loop_ = nullptr;
+  }
+  if (loop->error) std::rethrow_exception(loop->error);
+}
+
+}  // namespace bba::runtime

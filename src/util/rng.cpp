@@ -118,4 +118,22 @@ Rng Rng::fork(std::uint64_t stream) const {
   return Rng(splitmix64(x));
 }
 
+Rng Rng::substream(std::uint64_t seed, std::uint64_t a, std::uint64_t b,
+                   std::uint64_t c, std::uint64_t d) {
+  // Fold each coordinate into the state through one splitmix64 round,
+  // salted with a distinct odd constant per position so that permuted
+  // coordinates land in unrelated streams. The +1 keeps coordinate 0
+  // distinguishable from an absent coordinate.
+  const std::uint64_t coords[4] = {a, b, c, d};
+  const std::uint64_t salts[4] = {
+      0xd1b54a32d192ed03ULL, 0x8cb92ba72f3d8dd7ULL, 0x9e6c63d0876a9a47ULL,
+      0xb5504f32d3b0827dULL};
+  std::uint64_t x = seed;
+  for (int i = 0; i < 4; ++i) {
+    std::uint64_t t = x ^ (salts[i] * (coords[i] + 1));
+    x = splitmix64(t);
+  }
+  return Rng(x);
+}
+
 }  // namespace bba::util

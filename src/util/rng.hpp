@@ -57,6 +57,16 @@ class Rng {
   /// (parent seed, i). Used to give each simulated session its own stream.
   Rng fork(std::uint64_t stream) const;
 
+  /// Counter-based substream splitting: a generator that is a pure function
+  /// of (seed, a, b, c, d). Unlike fork(), no generator object or draw
+  /// sequencing is involved at all, so any thread can derive any substream
+  /// in any order and always get the same stream -- the primitive that keeps
+  /// parallel experiments bit-identical to sequential ones. Coordinates are
+  /// mixed positionally: substream(s, 1, 2) != substream(s, 2, 1).
+  static Rng substream(std::uint64_t seed, std::uint64_t a,
+                       std::uint64_t b = 0, std::uint64_t c = 0,
+                       std::uint64_t d = 0);
+
  private:
   std::uint64_t s_[4];
   std::uint64_t seed_;

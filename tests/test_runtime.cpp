@@ -1,0 +1,252 @@
+// Tests for bba::runtime: thread-pool coverage under contention, exception
+// propagation, the SessionExecutor ordered fold, and the subsystem's core
+// promise -- run_ab_test is bit-identical for every thread count.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "abr/baselines.hpp"
+#include "exp/abtest.hpp"
+#include "exp/population.hpp"
+#include "exp/session_key.hpp"
+#include "exp/workload.hpp"
+#include "media/video.hpp"
+#include "runtime/session_executor.hpp"
+#include "runtime/thread_pool.hpp"
+#include "sim/metrics.hpp"
+#include "sim/player.hpp"
+#include "util/rng.hpp"
+
+namespace bba {
+namespace {
+
+TEST(ThreadPool, SizeIsAtLeastOne) {
+  runtime::ThreadPool sequential(1);
+  EXPECT_EQ(sequential.size(), 1u);
+  runtime::ThreadPool four(4);
+  EXPECT_EQ(four.size(), 4u);
+  runtime::ThreadPool hw(0);
+  EXPECT_GE(hw.size(), 1u);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  runtime::ThreadPool pool(4);
+  constexpr std::size_t kN = 20000;
+  // Tiny grain maximizes cursor contention; atomic slots catch double
+  // execution from any thread.
+  std::vector<std::atomic<int>> hits(kN);
+  for (auto& h : hits) h.store(0);
+  pool.parallel_for(0, kN, /*grain=*/3,
+                    [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ParallelForCoversSubrangesAndSurvivesReuse) {
+  runtime::ThreadPool pool(3);
+  for (int round = 0; round < 20; ++round) {
+    const std::size_t begin = 17, end = 1017;
+    std::vector<std::atomic<int>> hits(end);
+    for (auto& h : hits) h.store(0);
+    pool.parallel_for(begin, end, /*grain=*/1,
+                      [&](std::size_t i) { hits[i].fetch_add(1); });
+    long long total = 0;
+    for (std::size_t i = 0; i < end; ++i) {
+      ASSERT_EQ(hits[i].load(), i >= begin ? 1 : 0);
+      total += hits[i].load();
+    }
+    ASSERT_EQ(total, static_cast<long long>(end - begin));
+  }
+}
+
+TEST(ThreadPool, EmptyAndDefaultGrainRanges) {
+  runtime::ThreadPool pool(2);
+  int calls = 0;
+  pool.parallel_for(5, 5, 0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  std::vector<std::atomic<int>> hits(1000);
+  for (auto& h : hits) h.store(0);
+  pool.parallel_for(0, 1000, /*grain=*/0,
+                    [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) ASSERT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ExceptionPropagatesAndPoolStaysUsable) {
+  runtime::ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(0, 1000, 1,
+                        [](std::size_t i) {
+                          if (i == 137) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  // The pool must still work after a failed loop.
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 100, 1, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(SessionExecutor, FoldRunsSequentiallyInIndexOrder) {
+  runtime::SessionExecutor executor(4);
+  constexpr std::size_t kN = 5000;
+  std::vector<double> produced(kN, 0.0);
+  std::vector<std::size_t> fold_order;
+  fold_order.reserve(kN);
+  executor.execute(
+      kN, [&](std::size_t i) { produced[i] = static_cast<double>(i) * 0.5; },
+      [&](std::size_t i) { fold_order.push_back(i); });
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(fold_order[i], i);
+    ASSERT_EQ(produced[i], static_cast<double>(i) * 0.5);
+  }
+}
+
+TEST(Rng, SubstreamIsAPureFunctionOfCoordinates) {
+  util::Rng a = util::Rng::substream(7, 1, 2, 3, 4);
+  util::Rng b = util::Rng::substream(7, 1, 2, 3, 4);
+  for (int i = 0; i < 16; ++i) ASSERT_EQ(a.next_u64(), b.next_u64());
+  // Distinct coordinates and permutations land in distinct streams.
+  util::Rng c = util::Rng::substream(7, 2, 1, 3, 4);
+  util::Rng d = util::Rng::substream(8, 1, 2, 3, 4);
+  util::Rng e = util::Rng::substream(7, 1, 2, 3, 5);
+  util::Rng base = util::Rng::substream(7, 1, 2, 3, 4);
+  const std::uint64_t first = base.next_u64();
+  EXPECT_NE(first, c.next_u64());
+  EXPECT_NE(first, d.next_u64());
+  EXPECT_NE(first, e.next_u64());
+}
+
+TEST(SessionKey, StreamsDependOnlyOnCoordinates) {
+  // The environment of (day 1, window 2, session 3) must not depend on any
+  // experiment dimension or on other sessions having been drawn.
+  const exp::Population population;
+  const exp::SessionKey key{99, 1, 2, 3};
+  const exp::UserEnvironment e1 = population.environment_for(key);
+  // Interleave unrelated derivations; the result must not move.
+  (void)population.environment_for({99, 0, 0, 0});
+  (void)population.environment_for({99, 1, 2, 4});
+  const exp::UserEnvironment e2 = population.environment_for(key);
+  EXPECT_EQ(e1.tier, e2.tier);
+  EXPECT_EQ(e1.has_outages, e2.has_outages);
+  EXPECT_DOUBLE_EQ(e1.trace.median_bps, e2.trace.median_bps);
+  EXPECT_DOUBLE_EQ(e1.trace.sigma_log, e2.trace.sigma_log);
+
+  const media::VideoLibrary lib = media::VideoLibrary::standard(11);
+  const exp::SessionSpec s1 = exp::session_for(lib, exp::WorkloadConfig{}, key);
+  const exp::SessionSpec s2 = exp::session_for(lib, exp::WorkloadConfig{}, key);
+  EXPECT_EQ(s1.video_index, s2.video_index);
+  EXPECT_DOUBLE_EQ(s1.watch_duration_s, s2.watch_duration_s);
+}
+
+TEST(SessionKey, SingleSessionReplayMatchesHarnessInputs) {
+  // Reconstructing a session from its coordinates (what bba_session
+  // --repro does) must yield a bit-identical trace and spec every time.
+  const exp::Population population;
+  const exp::SessionKey key{2013, 2, 11, 57};
+  const exp::UserEnvironment env = population.environment_for(key);
+  const net::CapacityTrace t1 = population.trace_for(env, key);
+  const net::CapacityTrace t2 = population.trace_for(env, key);
+  ASSERT_EQ(t1.segments().size(), t2.segments().size());
+  for (std::size_t i = 0; i < t1.segments().size(); ++i) {
+    ASSERT_EQ(t1.segments()[i].duration_s, t2.segments()[i].duration_s);
+    ASSERT_EQ(t1.segments()[i].rate_bps, t2.segments()[i].rate_bps);
+  }
+}
+
+exp::AbTestConfig runtime_config(std::size_t threads) {
+  exp::AbTestConfig cfg;
+  cfg.sessions_per_window = 5;
+  cfg.days = 2;
+  cfg.seed = 424242;
+  cfg.threads = threads;
+  return cfg;
+}
+
+void expect_bit_identical(const exp::AbTestResult& a,
+                          const exp::AbTestResult& b) {
+  ASSERT_EQ(a.num_groups(), b.num_groups());
+  ASSERT_EQ(a.num_days(), b.num_days());
+  for (std::size_t g = 0; g < a.num_groups(); ++g) {
+    for (std::size_t d = 0; d < a.num_days(); ++d) {
+      ASSERT_EQ(a.cells[g][d].size(), b.cells[g][d].size());
+      for (std::size_t w = 0; w < a.cells[g][d].size(); ++w) {
+        const exp::WindowMetrics& x = a.cells[g][d][w];
+        const exp::WindowMetrics& y = b.cells[g][d][w];
+        // memcmp on each double: bit-for-bit, not just value-equal.
+        EXPECT_EQ(std::memcmp(&x.play_hours, &y.play_hours, sizeof(double)),
+                  0);
+        EXPECT_EQ(
+            std::memcmp(&x.avg_rate_bps, &y.avg_rate_bps, sizeof(double)), 0);
+        EXPECT_EQ(std::memcmp(&x.startup_rate_bps, &y.startup_rate_bps,
+                              sizeof(double)),
+                  0);
+        EXPECT_EQ(std::memcmp(&x.steady_rate_bps, &y.steady_rate_bps,
+                              sizeof(double)),
+                  0);
+        EXPECT_EQ(
+            std::memcmp(&x.rebuffer_s, &y.rebuffer_s, sizeof(double)), 0);
+        EXPECT_EQ(x.rebuffer_count, y.rebuffer_count);
+        EXPECT_EQ(x.switch_count, y.switch_count);
+        EXPECT_EQ(x.sessions, y.sessions);
+      }
+    }
+  }
+}
+
+TEST(AbTestParallel, BitIdenticalAcrossThreadCounts) {
+  const media::VideoLibrary lib = media::VideoLibrary::standard(11);
+  const std::vector<exp::Group> groups = {
+      {"control", exp::make_control_factory()},
+      {"bba2", exp::make_bba2_factory()},
+  };
+  const exp::AbTestResult sequential =
+      exp::run_ab_test(groups, lib, runtime_config(1));
+  const exp::AbTestResult four =
+      exp::run_ab_test(groups, lib, runtime_config(4));
+  const exp::AbTestResult hardware =
+      exp::run_ab_test(groups, lib, runtime_config(0));
+  expect_bit_identical(sequential, four);
+  expect_bit_identical(sequential, hardware);
+}
+
+TEST(AbTestParallel, HarnessCellMatchesDirectSessionReplay) {
+  // Replaying sessions straight from their coordinates (no harness, no
+  // other sessions drawn) must hit the exact cell totals run_ab_test
+  // produces -- the property that makes bba_session --repro exact and the
+  // environment independent of sessions_per_window.
+  const exp::AbTestConfig cfg = runtime_config(1);
+  const media::VideoLibrary lib = media::VideoLibrary::standard(11);
+  const std::vector<exp::Group> groups = {
+      {"rmin", exp::make_rmin_factory()}};
+  const exp::AbTestResult result = exp::run_ab_test(groups, lib, cfg);
+
+  const exp::Population population(cfg.population);
+  const std::size_t day = 1, window = 4;
+  double play_hours = 0.0, rebuffers = 0.0;
+  for (std::size_t s = 0; s < cfg.sessions_per_window; ++s) {
+    const exp::SessionKey key{cfg.seed, day, window, s};
+    const exp::UserEnvironment env = population.environment_for(key);
+    const net::CapacityTrace trace = population.trace_for(env, key);
+    const exp::SessionSpec spec = exp::session_for(lib, cfg.workload, key);
+    sim::PlayerConfig player = cfg.player;
+    player.watch_duration_s = spec.watch_duration_s;
+    abr::RMinAlways algorithm;
+    const sim::SessionMetrics m = sim::compute_metrics(
+        sim::simulate_session(lib.at(spec.video_index), trace, algorithm,
+                              player));
+    play_hours += m.play_s / 3600.0;
+    rebuffers += static_cast<double>(m.rebuffer_count);
+  }
+  const exp::WindowMetrics& cell = result.cells[0][day][window];
+  EXPECT_EQ(cell.sessions,
+            static_cast<long long>(cfg.sessions_per_window));
+  EXPECT_DOUBLE_EQ(cell.play_hours, play_hours);
+  EXPECT_DOUBLE_EQ(cell.rebuffer_count, rebuffers);
+}
+
+}  // namespace
+}  // namespace bba

@@ -1,7 +1,8 @@
 // bba_abtest: run a custom A/B experiment from the command line.
 //
 //   bba_abtest [--groups control,bba2,...] [--sessions N] [--days N]
-//              [--seed S] [--metric rebuffers|rate|steady|startup|switches]
+//              [--seed S] [--threads N]
+//              [--metric rebuffers|rate|steady|startup|switches]
 //              [--baseline GROUP] [--csv PREFIX]
 //
 // Groups: control, throughput, pid, elastic, rmin-always, bba0, bba1,
@@ -76,6 +77,8 @@ void usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s [--groups g1,g2,...] [--sessions N] [--days N] [--seed S]\n"
+      "          [--threads N]  (0 = all hardware threads; the result is\n"
+      "                          bit-identical for every thread count)\n"
       "          [--metric rebuffers|rate|steady|startup|switches]\n"
       "          [--baseline GROUP] [--csv PREFIX]\n"
       "groups: control throughput pid elastic bola rmin-always bba0 bba1 "
@@ -111,6 +114,8 @@ int main(int argc, char** argv) {
       cfg.days = static_cast<std::size_t>(std::atoi(next("--days")));
     } else if (arg == "--seed") {
       cfg.seed = static_cast<std::uint64_t>(std::atoll(next("--seed")));
+    } else if (arg == "--threads") {
+      cfg.threads = static_cast<std::size_t>(std::atoi(next("--threads")));
     } else if (arg == "--metric") {
       metric_name = next("--metric");
     } else if (arg == "--baseline") {

@@ -1,11 +1,18 @@
 // bba_session: simulate one viewing session from the command line.
 //
 //   bba_session [--abr NAME] [--trace FILE.csv] [--video FILE.csv]
-//               [--watch MINUTES] [--seed S] [--log out.csv]
+//               [--watch MINUTES] [--seed S] [--repro DAY,WINDOW,SESSION]
+//               [--log out.csv]
 //
 // With no --trace, generates a Markov trace (--median-kbps, --sigma);
 // with no --video, generates a synthetic VBR title. Prints the session
 // metrics; --log writes the per-chunk record.
+//
+// --repro DAY,WINDOW,SESSION reconstructs the exact environment, capacity
+// trace, title, and watch duration that the A/B harness (bba_abtest with
+// default population/workload and the standard library) gives session
+// (DAY, WINDOW, SESSION) under experiment seed --seed: all streams are
+// pure functions of those coordinates, so the replay is bit-exact.
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -20,6 +27,9 @@
 #include "core/bba1.hpp"
 #include "core/bba2.hpp"
 #include "core/bba_others.hpp"
+#include "exp/population.hpp"
+#include "exp/session_key.hpp"
+#include "exp/workload.hpp"
 #include "media/table_io.hpp"
 #include "media/video.hpp"
 #include "net/trace_gen.hpp"
@@ -28,6 +38,7 @@
 #include "sim/player.hpp"
 #include "sim/qoe.hpp"
 #include "util/csv.hpp"
+#include "util/table.hpp"
 #include "util/units.hpp"
 
 namespace {
@@ -59,6 +70,8 @@ int main(int argc, char** argv) {
   double median_kbps = 3000.0;
   double sigma = 0.8;
   std::uint64_t seed = 1;
+  bool repro = false;
+  unsigned long long repro_day = 0, repro_window = 0, repro_session = 0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -83,6 +96,13 @@ int main(int argc, char** argv) {
       sigma = std::atof(next("--sigma"));
     } else if (arg == "--seed") {
       seed = static_cast<std::uint64_t>(std::atoll(next("--seed")));
+    } else if (arg == "--repro") {
+      if (std::sscanf(next("--repro"), "%llu,%llu,%llu", &repro_day,
+                      &repro_window, &repro_session) != 3) {
+        std::fprintf(stderr, "--repro needs DAY,WINDOW,SESSION\n");
+        return 2;
+      }
+      repro = true;
     } else if (arg == "--log") {
       log_path = next("--log");
     } else {
@@ -90,10 +110,17 @@ int main(int argc, char** argv) {
           stderr,
           "usage: %s [--abr NAME] [--trace FILE] [--video FILE]\n"
           "          [--watch MIN] [--median-kbps K] [--sigma S]\n"
-          "          [--seed S] [--log out.csv]\n",
+          "          [--seed S] [--repro DAY,WINDOW,SESSION] [--log out.csv]\n"
+          "--repro replays the exact session the A/B harness runs at those\n"
+          "grid coordinates for --seed (default population and library).\n",
           argv[0]);
       return arg == "--help" || arg == "-h" ? 0 : 2;
     }
+  }
+  if (repro && repro_window >= exp::kWindowsPerDay) {
+    std::fprintf(stderr, "--repro window must be < %zu\n",
+                 exp::kWindowsPerDay);
+    return 2;
   }
 
   auto abr = make_abr(abr_name);
@@ -104,41 +131,70 @@ int main(int argc, char** argv) {
 
   util::Rng rng(seed);
   std::optional<net::CapacityTrace> trace;
-  if (!trace_path.empty()) {
-    trace = net::read_trace_csv(trace_path);
-    if (!trace) {
-      std::fprintf(stderr, "could not read trace %s\n", trace_path.c_str());
-      return 1;
+  std::optional<media::Video> video;
+  double watch_s = watch_min * 60.0;
+  std::string source_label;
+
+  if (repro) {
+    if (!trace_path.empty() || !video_path.empty()) {
+      std::fprintf(stderr, "--repro is exclusive with --trace/--video\n");
+      return 2;
     }
-  } else {
-    net::MarkovTraceConfig cfg;
-    cfg.median_bps = util::kbps(median_kbps);
-    cfg.sigma_log = sigma;
-    trace = net::make_markov_trace(cfg, rng);
+    // Re-derive the session exactly as exp::run_ab_test does: every stream
+    // is a pure function of (seed, day, window, session).
+    const exp::SessionKey key{seed, repro_day, repro_window, repro_session};
+    const exp::Population population;
+    const exp::UserEnvironment env = population.environment_for(key);
+    trace = population.trace_for(env, key);
+    const media::VideoLibrary library = media::VideoLibrary::standard(11);
+    const exp::SessionSpec spec =
+        exp::session_for(library, exp::WorkloadConfig{}, key);
+    video = library.at(spec.video_index);
+    watch_s = spec.watch_duration_s;
+    source_label = util::format("(repro day %llu window %llu session %llu)",
+                                repro_day, repro_window, repro_session);
   }
 
-  std::optional<media::Video> video;
-  if (!video_path.empty()) {
-    video = media::read_chunk_table_csv(video_path, video_path);
-    if (!video) {
-      std::fprintf(stderr, "could not read video %s\n", video_path.c_str());
-      return 1;
+  if (!trace) {
+    if (!trace_path.empty()) {
+      trace = net::read_trace_csv(trace_path);
+      if (!trace) {
+        std::fprintf(stderr, "could not read trace %s\n", trace_path.c_str());
+        return 1;
+      }
+    } else {
+      net::MarkovTraceConfig cfg;
+      cfg.median_bps = util::kbps(median_kbps);
+      cfg.sigma_log = sigma;
+      trace = net::make_markov_trace(cfg, rng);
     }
-  } else {
-    video = media::make_vbr_video("synthetic",
-                                  media::EncodingLadder::netflix_2013(),
-                                  1500, 4.0, media::VbrConfig{}, rng);
+  }
+
+  if (!video) {
+    if (!video_path.empty()) {
+      video = media::read_chunk_table_csv(video_path, video_path);
+      if (!video) {
+        std::fprintf(stderr, "could not read video %s\n", video_path.c_str());
+        return 1;
+      }
+    } else {
+      video = media::make_vbr_video("synthetic",
+                                    media::EncodingLadder::netflix_2013(),
+                                    1500, 4.0, media::VbrConfig{}, rng);
+    }
   }
 
   sim::PlayerConfig player;
-  player.watch_duration_s = watch_min * 60.0;
+  player.watch_duration_s = watch_s;
   const sim::SessionResult session =
       sim::simulate_session(*video, *trace, *abr, player);
   const sim::SessionMetrics m = sim::compute_metrics(session);
 
   std::printf("abr=%s  trace=%s  video=%s\n", abr->name().c_str(),
-              trace_path.empty() ? "(generated)" : trace_path.c_str(),
-              video_path.empty() ? "(generated)" : video_path.c_str());
+              repro ? source_label.c_str()
+                    : trace_path.empty() ? "(generated)" : trace_path.c_str(),
+              repro ? source_label.c_str()
+                    : video_path.empty() ? "(generated)" : video_path.c_str());
   std::printf("played            %.1f min (join %.2f s)%s\n",
               m.play_s / 60.0, m.join_s,
               m.abandoned ? "  [ABANDONED]" : "");
