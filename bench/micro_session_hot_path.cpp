@@ -1,0 +1,366 @@
+// micro_session_hot_path: sessions/sec and heap allocations/session of the
+// A/B harness hot path, recorded sink vs streaming sink, at 1 and N
+// threads. Emits BENCH_session_hot_path.json (cwd; --out overrides).
+//
+//   micro_session_hot_path [--sessions N] [--passes N] [--out PATH]
+//
+// The recorded path reproduces the pre-optimisation main loop: a fresh
+// CapacityTrace by value, a factory-fresh ABR with the historical
+// per-decision reservoir scan (cache_window_sums off), a SessionResult
+// recording every chunk, then compute_metrics. The streaming path is what
+// run_ab_test now does: per-thread scratch (TraceScratch +
+// CapacityTrace::assign + reused ABR with memoized window sums) feeding a
+// StreamingMetricsSink. Both produce bit-identical SessionMetrics, which
+// this binary also checks.
+// Allocations are counted by interposing global operator new in this
+// binary; the strict single-thread pass checks the MAXIMUM allocations of
+// any one steady-state session, which must be exactly zero.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "core/bba2.hpp"
+#include "exp/abtest.hpp"
+#include "exp/population.hpp"
+#include "exp/session_key.hpp"
+#include "exp/workload.hpp"
+#include "media/video.hpp"
+#include "net/trace_gen.hpp"
+#include "runtime/session_executor.hpp"
+#include "runtime/thread_pool.hpp"
+#include "sim/metrics.hpp"
+#include "sim/player.hpp"
+#include "sim/session_sink.hpp"
+
+// ---------------------------------------------------------------------------
+// Allocation counter: every operator new in this binary bumps the counter
+// while counting is enabled. delete is left uncounted (frees are the
+// mirror of the allocations we already count).
+namespace {
+std::atomic<long long> g_allocs{0};
+std::atomic<bool> g_counting{false};
+
+inline void count_alloc() {
+  if (g_counting.load(std::memory_order_relaxed)) {
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+}  // namespace
+
+void* operator new(std::size_t size) {
+  count_alloc();
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  count_alloc();
+  void* p = std::aligned_alloc(static_cast<std::size_t>(align),
+                               (size + static_cast<std::size_t>(align) - 1) &
+                                   ~(static_cast<std::size_t>(align) - 1));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+// ---------------------------------------------------------------------------
+namespace {
+
+using namespace bba;
+
+struct BenchSetup {
+  exp::Population population;
+  const media::VideoLibrary* library = nullptr;
+  exp::WorkloadConfig workload;
+  sim::PlayerConfig player;
+  std::uint64_t seed = 2014;
+  std::size_t sessions = 0;  // one day x 12 windows x sessions_per_window
+  std::size_t sessions_per_window = 0;
+};
+
+exp::SessionKey key_of(const BenchSetup& setup, std::size_t task) {
+  const std::size_t window = task / setup.sessions_per_window;
+  const std::size_t user = task % setup.sessions_per_window;
+  return exp::SessionKey{setup.seed, 0, window % exp::kWindowsPerDay, user};
+}
+
+// The pre-optimisation hot path: everything constructed fresh per session
+// and the reservoir window rescanned on every decision, as the harness did
+// before per-thread scratch and the window-sum memo existed.
+void run_recorded(const BenchSetup& setup, std::size_t task,
+                  sim::SessionMetrics* out) {
+  const exp::SessionKey key = key_of(setup, task);
+  const exp::UserEnvironment env = setup.population.environment_for(key);
+  const net::CapacityTrace trace = setup.population.trace_for(env, key);
+  const exp::SessionSpec spec =
+      exp::session_for(*setup.library, setup.workload, key);
+  sim::PlayerConfig player = setup.player;
+  player.watch_duration_s = spec.watch_duration_s;
+  player.use_trace_cursor = false;  // per-query binary search, as before
+  core::Bba2Config legacy;
+  legacy.base.reservoir.cache_window_sums = false;
+  const auto abr = std::make_unique<core::Bba2>(legacy);
+  const sim::SessionResult res = sim::simulate_session(
+      setup.library->at(spec.video_index), trace, *abr, player);
+  *out = sim::compute_metrics(res);
+}
+
+// The post-PR hot path: per-thread scratch, zero steady-state allocation.
+struct Scratch {
+  net::TraceScratch trace_scratch;
+  net::CapacityTrace trace = net::CapacityTrace::constant(1.0);
+  sim::StreamingMetricsSink sink;
+  core::Bba2 abr;
+};
+
+void run_streaming(const BenchSetup& setup, std::size_t task, Scratch& s,
+                   sim::SessionMetrics* out) {
+  const exp::SessionKey key = key_of(setup, task);
+  const exp::UserEnvironment env = setup.population.environment_for(key);
+  setup.population.trace_for_into(env, key, s.trace_scratch, s.trace);
+  const exp::SessionSpec spec =
+      exp::session_for(*setup.library, setup.workload, key);
+  sim::PlayerConfig player = setup.player;
+  player.watch_duration_s = spec.watch_duration_s;
+  sim::simulate_session(setup.library->at(spec.video_index), s.trace, s.abr,
+                        player, s.sink);
+  *out = s.sink.metrics();
+}
+
+bool metrics_identical(const sim::SessionMetrics& a,
+                       const sim::SessionMetrics& b) {
+  auto same = [](double x, double y) {
+    return std::memcmp(&x, &y, sizeof(double)) == 0;
+  };
+  return same(a.play_s, b.play_s) && same(a.join_s, b.join_s) &&
+         a.rebuffer_count == b.rebuffer_count &&
+         same(a.rebuffer_s, b.rebuffer_s) &&
+         same(a.rebuffers_per_hour, b.rebuffers_per_hour) &&
+         same(a.avg_rate_bps, b.avg_rate_bps) &&
+         same(a.startup_rate_bps, b.startup_rate_bps) &&
+         same(a.steady_rate_bps, b.steady_rate_bps) &&
+         a.has_steady == b.has_steady &&
+         same(a.steady_play_s, b.steady_play_s) &&
+         a.switch_count == b.switch_count &&
+         same(a.switches_per_hour, b.switches_per_hour) &&
+         a.abandoned == b.abandoned;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+struct Row {
+  const char* mode;
+  std::size_t threads;
+  double seconds;
+  double sessions_per_sec;
+  double allocs_per_session;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchSetup setup;
+  setup.sessions_per_window = 40;
+  std::size_t passes = 3;
+  std::string out_path = "BENCH_session_hot_path.json";
+  for (int i = 1; i + 1 < argc; i += 2) {
+    if (std::string(argv[i]) == "--sessions") {
+      setup.sessions_per_window =
+          static_cast<std::size_t>(std::atoi(argv[i + 1]));
+    } else if (std::string(argv[i]) == "--passes") {
+      passes = static_cast<std::size_t>(std::atoi(argv[i + 1]));
+    } else if (std::string(argv[i]) == "--out") {
+      out_path = argv[i + 1];
+    }
+  }
+  const media::VideoLibrary library = media::VideoLibrary::standard(11);
+  setup.library = &library;
+  setup.sessions = exp::kWindowsPerDay * setup.sessions_per_window;
+  const std::size_t hw = runtime::ThreadPool::hardware_threads();
+
+  std::vector<sim::SessionMetrics> recorded(setup.sessions);
+  std::vector<sim::SessionMetrics> streamed(setup.sessions);
+  std::vector<Row> rows;
+
+  // --- Strict single-thread passes: direct loops, per-session counters. --
+  // Warmup pass grows every reusable buffer to the workload.
+  Scratch scratch;
+  for (std::size_t i = 0; i < setup.sessions; ++i) {
+    run_streaming(setup, i, scratch, &streamed[i]);
+    run_recorded(setup, i, &recorded[i]);
+  }
+  bool identical = true;
+  for (std::size_t i = 0; i < setup.sessions; ++i) {
+    identical = identical && metrics_identical(recorded[i], streamed[i]);
+  }
+
+  long long max_session_allocs = 0;
+  {
+    g_counting.store(true);
+    for (std::size_t i = 0; i < setup.sessions; ++i) {
+      const long long before = g_allocs.load();
+      run_streaming(setup, i, scratch, &streamed[i]);
+      max_session_allocs =
+          std::max(max_session_allocs, g_allocs.load() - before);
+    }
+    g_counting.store(false);
+  }
+
+  auto time_direct = [&](const char* mode, auto&& body) {
+    double best = 1e100;
+    long long allocs = 0;
+    for (std::size_t p = 0; p < passes; ++p) {
+      g_allocs.store(0);
+      g_counting.store(true);
+      const auto start = std::chrono::steady_clock::now();
+      for (std::size_t i = 0; i < setup.sessions; ++i) body(i);
+      const double s = seconds_since(start);
+      g_counting.store(false);
+      allocs = g_allocs.load();
+      best = std::min(best, s);
+    }
+    rows.push_back({mode, 1, best,
+                    static_cast<double>(setup.sessions) / best,
+                    static_cast<double>(allocs) /
+                        static_cast<double>(setup.sessions)});
+  };
+  time_direct("recorded", [&](std::size_t i) {
+    run_recorded(setup, i, &recorded[i]);
+  });
+  time_direct("streaming", [&](std::size_t i) {
+    run_streaming(setup, i, scratch, &streamed[i]);
+  });
+
+  // --- Executor passes at N threads (the harness configuration). --------
+  if (hw > 1) {
+    runtime::SessionExecutor executor(hw);
+    std::vector<Scratch> slot_scratch(executor.threads());
+    auto time_executor = [&](const char* mode, bool streaming) {
+      double best = 1e100;
+      long long allocs = 0;
+      // Warmup for the per-slot scratch.
+      if (streaming) {
+        executor.execute_slotted(
+            setup.sessions,
+            [&](std::size_t i, std::size_t slot) {
+              run_streaming(setup, i, slot_scratch[slot], &streamed[i]);
+            },
+            [](std::size_t) {});
+      }
+      for (std::size_t p = 0; p < passes; ++p) {
+        g_allocs.store(0);
+        g_counting.store(true);
+        const auto start = std::chrono::steady_clock::now();
+        if (streaming) {
+          executor.execute_slotted(
+              setup.sessions,
+              [&](std::size_t i, std::size_t slot) {
+                run_streaming(setup, i, slot_scratch[slot], &streamed[i]);
+              },
+              [](std::size_t) {});
+        } else {
+          executor.execute(
+              setup.sessions,
+              [&](std::size_t i) { run_recorded(setup, i, &recorded[i]); },
+              [](std::size_t) {});
+        }
+        const double s = seconds_since(start);
+        g_counting.store(false);
+        allocs = g_allocs.load();
+        best = std::min(best, s);
+      }
+      rows.push_back({mode, hw, best,
+                      static_cast<double>(setup.sessions) / best,
+                      static_cast<double>(allocs) /
+                          static_cast<double>(setup.sessions)});
+    };
+    time_executor("recorded", false);
+    time_executor("streaming", true);
+  }
+
+  double recorded_sps = 0.0, streaming_sps = 0.0;
+  for (const Row& r : rows) {
+    if (r.threads != 1) continue;
+    if (std::string(r.mode) == "recorded") recorded_sps = r.sessions_per_sec;
+    if (std::string(r.mode) == "streaming") streaming_sps = r.sessions_per_sec;
+  }
+  const double speedup =
+      recorded_sps > 0.0 ? streaming_sps / recorded_sps : 0.0;
+
+  std::string json = "{\"bench\":\"session_hot_path\",";
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "\"hardware_threads\":%zu,\"sessions\":%zu,\"results\":[",
+                hw, setup.sessions);
+  json += buf;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    std::snprintf(buf, sizeof buf,
+                  "%s{\"mode\":\"%s\",\"threads\":%zu,\"seconds\":%.4f,"
+                  "\"sessions_per_sec\":%.1f,\"allocs_per_session\":%.4f}",
+                  i == 0 ? "" : ",", rows[i].mode, rows[i].threads,
+                  rows[i].seconds, rows[i].sessions_per_sec,
+                  rows[i].allocs_per_session);
+    json += buf;
+  }
+  std::snprintf(buf, sizeof buf,
+                "],\"speedup_streaming_vs_recorded\":%.2f,"
+                "\"max_allocs_per_steady_session\":%lld,"
+                "\"bit_identical\":%s}",
+                speedup, max_session_allocs, identical ? "true" : "false");
+  json += buf;
+
+  std::printf("%s\n", json.c_str());
+  if (std::FILE* f = std::fopen(out_path.c_str(), "w")) {
+    std::fputs(json.c_str(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+  } else {
+    std::fprintf(stderr, "could not write %s\n", out_path.c_str());
+  }
+
+  bool ok = identical;
+  if (max_session_allocs != 0) {
+    std::fprintf(stderr,
+                 "FAIL: streaming path allocated on a steady-state session "
+                 "(max %lld allocs)\n",
+                 max_session_allocs);
+    ok = false;
+  }
+  if (speedup < 1.5) {
+    std::fprintf(stderr,
+                 "FAIL: streaming speedup %.2fx below the 1.5x target\n",
+                 speedup);
+    ok = false;
+  }
+  if (!identical) {
+    std::fprintf(stderr,
+                 "FAIL: streaming metrics differ from recorded metrics\n");
+  }
+  return ok ? 0 : 1;
+}

@@ -9,7 +9,7 @@ namespace bba::core {
 
 double raw_reservoir_s(const media::ChunkTable& chunks, std::size_t rmin_index,
                        double rmin_bps, std::size_t next_chunk,
-                       double lookahead_s) {
+                       double lookahead_s, bool cache_window_sums) {
   BBA_ASSERT(rmin_bps > 0.0, "rmin must be > 0");
   BBA_ASSERT(lookahead_s > 0.0, "lookahead must be > 0");
   if (next_chunk >= chunks.num_chunks()) return 0.0;
@@ -18,8 +18,12 @@ double raw_reservoir_s(const media::ChunkTable& chunks, std::size_t rmin_index,
       std::max(1.0, std::floor(lookahead_s / V)));
   const std::size_t count =
       std::min(window_chunks, chunks.num_chunks() - next_chunk);
+  // Both branches sum chunks [next_chunk, min(next_chunk + window_chunks,
+  // num_chunks)) left to right, so the results are bitwise equal.
   const double bits =
-      chunks.sum_size_in_window_bits(rmin_index, next_chunk, count);
+      cache_window_sums
+          ? chunks.window_sums(rmin_index, window_chunks)[next_chunk]
+          : chunks.sum_size_in_window_bits(rmin_index, next_chunk, count);
   // Seconds to download the window at capacity R_min, minus the seconds of
   // video the window resupplies.
   return bits / rmin_bps - static_cast<double>(count) * V;
@@ -31,7 +35,7 @@ double compute_reservoir_s(const media::ChunkTable& chunks,
                            const ReservoirConfig& cfg) {
   BBA_ASSERT(cfg.min_s <= cfg.max_s, "reservoir bounds inverted");
   const double raw = raw_reservoir_s(chunks, rmin_index, rmin_bps, next_chunk,
-                                     cfg.lookahead_s);
+                                     cfg.lookahead_s, cfg.cache_window_sums);
   return std::clamp(raw, cfg.min_s, cfg.max_s);
 }
 

@@ -19,7 +19,6 @@ namespace {
 /// play-time weighted.
 void accumulate(WindowMetrics& cell, const sim::SessionMetrics& m) {
   const double hours = m.play_s / 3600.0;
-  const double prev_hours = cell.play_hours;
   cell.play_hours += hours;
   cell.rebuffer_count += static_cast<double>(m.rebuffer_count);
   cell.rebuffer_s += m.rebuffer_s;
@@ -28,15 +27,23 @@ void accumulate(WindowMetrics& cell, const sim::SessionMetrics& m) {
   if (cell.play_hours > 0.0) {
     const double w_new = hours / cell.play_hours;
     cell.avg_rate_bps += (m.avg_rate_bps - cell.avg_rate_bps) * w_new;
-    // Startup/steady use the same play-hours weighting for simplicity; the
-    // startup window is a fixed 120 s per session, so the bias is tiny.
+    // Startup uses the total play-hours weight for simplicity; the startup
+    // window is a fixed 120 s per session, so the bias is tiny.
     cell.startup_rate_bps +=
         (m.startup_rate_bps - cell.startup_rate_bps) * w_new;
-    if (m.has_steady) {
+  }
+  // Steady state is weighted by steady play hours over the sessions that
+  // actually reached it: a session's steady_rate_bps covers only its play
+  // time past 120 s, and short sessions carry no steady signal at all.
+  // Weighting by total play hours (as avg/startup do) would let both
+  // effects bias the cell toward startup-heavy sessions.
+  if (m.has_steady) {
+    const double steady_hours = m.steady_play_s / 3600.0;
+    cell.steady_play_hours += steady_hours;
+    if (cell.steady_play_hours > 0.0) {
+      const double w_steady = steady_hours / cell.steady_play_hours;
       cell.steady_rate_bps +=
-          (m.steady_rate_bps - cell.steady_rate_bps) * w_new;
-    } else if (prev_hours == 0.0) {
-      cell.steady_rate_bps = m.avg_rate_bps;
+          (m.steady_rate_bps - cell.steady_rate_bps) * w_steady;
     }
   }
 }
@@ -64,9 +71,14 @@ WindowMetrics AbTestResult::merged(std::size_t group,
       out.avg_rate_bps += (c.avg_rate_bps - out.avg_rate_bps) * w_new;
       out.startup_rate_bps +=
           (c.startup_rate_bps - out.startup_rate_bps) * w_new;
-      out.steady_rate_bps +=
-          (c.steady_rate_bps - out.steady_rate_bps) * w_new;
     }
+    const double steady_total = out.steady_play_hours + c.steady_play_hours;
+    if (steady_total > 0.0) {
+      const double w_steady = c.steady_play_hours / steady_total;
+      out.steady_rate_bps +=
+          (c.steady_rate_bps - out.steady_rate_bps) * w_steady;
+    }
+    out.steady_play_hours = steady_total;
     out.play_hours = total;
     out.rebuffer_count += c.rebuffer_count;
     out.rebuffer_s += c.rebuffer_s;
@@ -118,9 +130,26 @@ AbTestResult run_ab_test(const std::vector<Group>& groups,
   std::vector<sim::SessionMetrics> metrics(n_tasks * n_groups);
 
   runtime::SessionExecutor executor(cfg.threads);
-  executor.execute(
+
+  // Per-thread scratch, indexed by the executor slot: the trace is rebuilt
+  // in place (CapacityTrace::assign ping-pongs storage with the generation
+  // buffers), metrics stream through a StreamingMetricsSink (bit-identical
+  // to compute_metrics over a recording), and ABR instances are reused
+  // across sessions where the group allows. Steady state does zero heap
+  // allocation per session. None of this affects the produced values, so
+  // the determinism contract holds.
+  struct SessionScratch {
+    net::TraceScratch trace_scratch;
+    net::CapacityTrace trace = net::CapacityTrace::constant(1.0);
+    sim::StreamingMetricsSink sink;
+    std::vector<std::unique_ptr<abr::RateAdaptation>> abrs;
+  };
+  std::vector<SessionScratch> scratch(executor.threads());
+  for (auto& s : scratch) s.abrs.resize(n_groups);
+
+  executor.execute_slotted(
       n_tasks,
-      [&](std::size_t task) {
+      [&](std::size_t task, std::size_t slot) {
         const std::size_t day = task / per_day;
         const std::size_t window = (task % per_day) / cfg.sessions_per_window;
         const std::size_t user = task % cfg.sessions_per_window;
@@ -128,7 +157,8 @@ AbTestResult run_ab_test(const std::vector<Group>& groups,
         // (seed, day, window, user) and shared by all groups.
         const SessionKey key{cfg.seed, day, window, user};
         const UserEnvironment env = population.environment_for(key);
-        const net::CapacityTrace trace = population.trace_for(env, key);
+        SessionScratch& s = scratch[slot];
+        population.trace_for_into(env, key, s.trace_scratch, s.trace);
         const SessionSpec spec = session_for(library, cfg.workload, key);
         const media::Video& video = library.at(spec.video_index);
 
@@ -136,11 +166,18 @@ AbTestResult run_ab_test(const std::vector<Group>& groups,
         player.watch_duration_s = spec.watch_duration_s;
 
         for (std::size_t g = 0; g < n_groups; ++g) {
-          auto algorithm = groups[g].factory();
+          std::unique_ptr<abr::RateAdaptation> fresh;
+          abr::RateAdaptation* algorithm;
+          if (groups[g].reuse_instances) {
+            if (s.abrs[g] == nullptr) s.abrs[g] = groups[g].factory();
+            algorithm = s.abrs[g].get();
+          } else {
+            fresh = groups[g].factory();
+            algorithm = fresh.get();
+          }
           BBA_ASSERT(algorithm != nullptr, "group factory returned null");
-          const sim::SessionResult session =
-              sim::simulate_session(video, trace, *algorithm, player);
-          metrics[task * n_groups + g] = sim::compute_metrics(session);
+          sim::simulate_session(video, s.trace, *algorithm, player, s.sink);
+          metrics[task * n_groups + g] = s.sink.metrics();
         }
       },
       [&](std::size_t task) {

@@ -31,6 +31,13 @@ using AbrFactory = std::function<std::unique_ptr<abr::RateAdaptation>()>;
 struct Group {
   std::string name;
   AbrFactory factory;
+  /// When true (default) the harness calls the factory once per worker
+  /// thread and reuses the instance across sessions — every in-repo ABR
+  /// fully re-initializes in reset(), which the player calls at session
+  /// start. Set false for a custom ABR whose constructor establishes state
+  /// reset() does not restore; the harness then builds a fresh instance
+  /// per session.
+  bool reuse_instances = true;
 };
 
 /// Aggregated metrics of one (group, day, window) cell.
@@ -43,6 +50,13 @@ struct WindowMetrics {
   double steady_rate_bps = 0.0;   ///< after the first 2 min
   double switch_count = 0.0;
   long long sessions = 0;
+
+  /// Play hours past each session's 2-minute startup window, summed over
+  /// sessions that reached steady state -- the weight behind
+  /// steady_rate_bps. Sessions that never reach steady state contribute
+  /// nothing to the steady average (they used to dilute it through the
+  /// shared play-hours weight).
+  double steady_play_hours = 0.0;
 
   double rebuffers_per_hour() const {
     return play_hours > 0.0 ? rebuffer_count / play_hours : 0.0;

@@ -86,4 +86,27 @@ net::CapacityTrace Population::trace_for(const UserEnvironment& env,
   return make_trace(env, rng);
 }
 
+void Population::make_trace_into(const UserEnvironment& env, util::Rng& rng,
+                                 net::TraceScratch& scratch,
+                                 net::CapacityTrace& out) const {
+  // Same rng consumption order as make_trace: the Markov levels first,
+  // then the outage process.
+  net::make_markov_trace_into(env.trace, rng, scratch.segments);
+  if (env.has_outages) {
+    net::insert_outages(scratch.segments, env.outages, rng,
+                        scratch.outage_segments);
+    out.assign(scratch.outage_segments, /*loop=*/true);
+  } else {
+    out.assign(scratch.segments, /*loop=*/true);
+  }
+}
+
+void Population::trace_for_into(const UserEnvironment& env,
+                                const SessionKey& key,
+                                net::TraceScratch& scratch,
+                                net::CapacityTrace& out) const {
+  util::Rng rng = session_rng(key, StreamClass::kTrace);
+  make_trace_into(env, rng, scratch, out);
+}
+
 }  // namespace bba::exp

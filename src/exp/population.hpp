@@ -130,6 +130,19 @@ class Population {
   net::CapacityTrace trace_for(const UserEnvironment& env,
                                const SessionKey& key) const;
 
+  /// Allocation-free make_trace: rebuilds `out` in place through `scratch`
+  /// (net::TraceScratch + CapacityTrace::assign). Produces a trace
+  /// bit-identical to make_trace with the same rng, with zero steady-state
+  /// heap allocation once the buffers have grown to the workload.
+  void make_trace_into(const UserEnvironment& env, util::Rng& rng,
+                       net::TraceScratch& scratch,
+                       net::CapacityTrace& out) const;
+
+  /// Allocation-free trace_for, same equivalence guarantee.
+  void trace_for_into(const UserEnvironment& env, const SessionKey& key,
+                      net::TraceScratch& scratch,
+                      net::CapacityTrace& out) const;
+
  private:
   PopulationConfig cfg_;
   std::vector<double> tier_weights_;

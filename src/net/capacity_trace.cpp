@@ -12,9 +12,16 @@ namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
 }
 
-CapacityTrace::CapacityTrace(std::vector<Segment> segments, bool loop)
-    : segments_(std::move(segments)), loop_(loop) {
-  BBA_ASSERT(!segments_.empty(), "CapacityTrace requires segments");
+CapacityTrace::CapacityTrace(std::vector<Segment> segments, bool loop) {
+  assign(segments, loop);
+}
+
+void CapacityTrace::assign(std::vector<Segment>& segments, bool loop) {
+  BBA_ASSERT(!segments.empty(), "CapacityTrace requires segments");
+  segments_.swap(segments);
+  loop_ = loop;
+  time_prefix_.clear();
+  bits_prefix_.clear();
   time_prefix_.reserve(segments_.size() + 1);
   bits_prefix_.reserve(segments_.size() + 1);
   time_prefix_.push_back(0.0);
@@ -34,27 +41,29 @@ CapacityTrace CapacityTrace::constant(double rate_bps) {
   return CapacityTrace({Segment{1.0, rate_bps}}, /*loop=*/true);
 }
 
+std::size_t CapacityTrace::segment_index_at(double t_s) const {
+  // Last prefix <= t: upper_bound finds the first prefix > t. t == cycle_s_
+  // (and only it, given t <= cycle_s_) lands past the last segment and is
+  // clamped onto it.
+  const auto it =
+      std::upper_bound(time_prefix_.begin(), time_prefix_.end(), t_s);
+  const auto idx = static_cast<std::size_t>(
+      std::distance(time_prefix_.begin(), it)) - 1;
+  return std::min(idx, segments_.size() - 1);
+}
+
 double CapacityTrace::rate_at_bps(double t_s) const {
   BBA_ASSERT(t_s >= 0.0, "time must be >= 0");
   if (t_s >= cycle_s_) {
     if (!loop_) return 0.0;
     t_s = std::fmod(t_s, cycle_s_);
   }
-  // Find segment containing t: last prefix <= t.
-  const auto it =
-      std::upper_bound(time_prefix_.begin(), time_prefix_.end(), t_s);
-  const auto idx = static_cast<std::size_t>(
-      std::distance(time_prefix_.begin(), it)) - 1;
-  return segments_[std::min(idx, segments_.size() - 1)].rate_bps;
+  return segments_[segment_index_at(t_s)].rate_bps;
 }
 
 double CapacityTrace::bits_prefix(double t_s) const {
   t_s = std::clamp(t_s, 0.0, cycle_s_);
-  const auto it =
-      std::upper_bound(time_prefix_.begin(), time_prefix_.end(), t_s);
-  const auto idx = std::min(
-      static_cast<std::size_t>(std::distance(time_prefix_.begin(), it)) - 1,
-      segments_.size() - 1);
+  const std::size_t idx = segment_index_at(t_s);
   return bits_prefix_[idx] +
          segments_[idx].rate_bps * (t_s - time_prefix_[idx]);
 }
@@ -117,11 +126,7 @@ double CapacityTrace::finish_time_s(double start_s, double bits) const {
 
   // Walk segments inside the current cycle until `remaining` is delivered.
   // `pos` is within [0, cycle_s_).
-  const auto it =
-      std::upper_bound(time_prefix_.begin(), time_prefix_.end(), pos);
-  auto idx = std::min(
-      static_cast<std::size_t>(std::distance(time_prefix_.begin(), it)) - 1,
-      segments_.size() - 1);
+  std::size_t idx = segment_index_at(pos);
   double t = pos;
   while (true) {
     const Segment& seg = segments_[idx];

@@ -5,8 +5,13 @@
 // S bits starting at time t finish?", which is computed by exact
 // integration, so chunk throughputs are exact averages over the download
 // interval just as a real client would measure them.
+//
+// For hot loops that query one trace at monotonically increasing times,
+// use net::TraceCursor (trace_cursor.hpp): it returns bit-identical
+// answers while advancing a segment hint instead of binary-searching.
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 namespace bba::net {
@@ -23,6 +28,14 @@ class CapacityTrace {
   /// Requires at least one segment with positive duration. If `loop` is
   /// false, capacity after the last segment is 0 (dead link).
   explicit CapacityTrace(std::vector<Segment> segments, bool loop = true);
+
+  /// Rebuilds this trace in place from `segments`, swapping the previous
+  /// segment storage back into `segments` and recomputing the prefix
+  /// tables without shrinking their capacity. Repeatedly assigning traces
+  /// of a bounded size therefore performs zero heap allocation once the
+  /// buffers have grown to the workload -- the A/B harness's per-thread
+  /// scratch relies on this.
+  void assign(std::vector<Segment>& segments, bool loop);
 
   /// Constant-capacity trace (loops trivially).
   static CapacityTrace constant(double rate_bps);
@@ -41,11 +54,28 @@ class CapacityTrace {
   /// Average capacity over [t0, t1]; 0 if the interval is empty.
   double average_bps(double t0_s, double t1_s) const;
 
+  /// Index of the segment containing in-cycle time `t_s`, for
+  /// t_s in [0, cycle_duration_s()]: the last segment whose start is
+  /// <= t_s (t_s == cycle_duration_s() maps to the last segment). The
+  /// single place segment lookup happens; O(log segments).
+  std::size_t segment_index_at(double t_s) const;
+
   /// Duration of one cycle of the underlying segment list.
   double cycle_duration_s() const { return cycle_s_; }
 
   bool loops() const { return loop_; }
   const std::vector<Segment>& segments() const { return segments_; }
+
+  /// Cumulative segment start times: size()+1 entries, [0] == 0 and
+  /// [size()] == cycle_duration_s(). Exposed for TraceCursor.
+  const std::vector<double>& time_prefix() const { return time_prefix_; }
+
+  /// Cumulative bits delivered by each segment boundary: size()+1 entries.
+  /// Exposed for TraceCursor.
+  const std::vector<double>& bits_prefix_table() const { return bits_prefix_; }
+
+  /// Bits delivered over one whole cycle.
+  double cycle_bits() const { return cycle_bits_; }
 
   /// Minimum / maximum segment rate in the trace.
   double min_rate_bps() const;

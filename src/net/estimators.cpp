@@ -17,21 +17,20 @@ double LastSampleEstimator::estimate_bps() const {
 }
 
 SlidingMeanEstimator::SlidingMeanEstimator(std::size_t window)
-    : window_(window) {
-  BBA_ASSERT(window_ >= 1, "window must be >= 1");
+    : samples_(window) {
+  BBA_ASSERT(window >= 1, "window must be >= 1");
 }
 
 void SlidingMeanEstimator::add_sample(double throughput_bps,
                                       double /*duration_s*/) {
   BBA_ASSERT(throughput_bps >= 0.0, "throughput must be >= 0");
-  samples_.push_back(throughput_bps);
-  if (samples_.size() > window_) samples_.pop_front();
+  samples_.push(throughput_bps);
 }
 
 double SlidingMeanEstimator::estimate_bps() const {
   BBA_ASSERT(!samples_.empty(), "estimate_bps() before any sample");
   double sum = 0.0;
-  for (double s : samples_) sum += s;
+  for (std::size_t i = 0; i < samples_.size(); ++i) sum += samples_.at(i);
   return sum / static_cast<double>(samples_.size());
 }
 
@@ -55,21 +54,21 @@ double EwmaEstimator::estimate_bps() const {
 }
 
 HarmonicMeanEstimator::HarmonicMeanEstimator(std::size_t window)
-    : window_(window) {
-  BBA_ASSERT(window_ >= 1, "window must be >= 1");
+    : samples_(window) {
+  BBA_ASSERT(window >= 1, "window must be >= 1");
 }
 
 void HarmonicMeanEstimator::add_sample(double throughput_bps,
                                        double /*duration_s*/) {
   BBA_ASSERT(throughput_bps >= 0.0, "throughput must be >= 0");
-  samples_.push_back(throughput_bps);
-  if (samples_.size() > window_) samples_.pop_front();
+  samples_.push(throughput_bps);
 }
 
 double HarmonicMeanEstimator::estimate_bps() const {
   BBA_ASSERT(!samples_.empty(), "estimate_bps() before any sample");
   double sum_inv = 0.0;
-  for (double s : samples_) {
+  for (std::size_t i = 0; i < samples_.size(); ++i) {
+    const double s = samples_.at(i);
     if (s <= 0.0) return 0.0;  // an outage sample pins the harmonic mean
     sum_inv += 1.0 / s;
   }

@@ -7,11 +7,49 @@
 #pragma once
 
 #include <cstddef>
-#include <deque>
 #include <memory>
 #include <string>
+#include <vector>
 
 namespace bba::net {
+
+/// Fixed-capacity FIFO of the most recent `window` samples. Storage is
+/// allocated once at construction and never released: reset() just rewinds
+/// the indices, so a reused estimator performs zero heap allocation per
+/// session (the simulator's no-allocation invariant, docs/perf.md).
+class SampleWindow {
+ public:
+  explicit SampleWindow(std::size_t window) : buf_(window) {}
+
+  /// Appends a sample, evicting the oldest once the window is full.
+  void push(double v) {
+    if (count_ < buf_.size()) {
+      buf_[(head_ + count_) % buf_.size()] = v;
+      ++count_;
+    } else {
+      buf_[head_] = v;
+      head_ = (head_ + 1) % buf_.size();
+    }
+  }
+
+  void clear() {
+    head_ = 0;
+    count_ = 0;
+  }
+
+  std::size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  /// i-th sample, oldest first (i < size()).
+  double at(std::size_t i) const {
+    return buf_[(head_ + i) % buf_.size()];
+  }
+
+ private:
+  std::vector<double> buf_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+};
 
 /// Interface for per-chunk throughput estimators.
 class ThroughputEstimator {
@@ -57,8 +95,7 @@ class SlidingMeanEstimator final : public ThroughputEstimator {
   std::string name() const override { return "sliding-mean"; }
 
  private:
-  std::size_t window_;
-  std::deque<double> samples_;
+  SampleWindow samples_;
 };
 
 /// Exponentially weighted moving average with per-sample weight `alpha`.
@@ -89,8 +126,7 @@ class HarmonicMeanEstimator final : public ThroughputEstimator {
   std::string name() const override { return "harmonic-mean"; }
 
  private:
-  std::size_t window_;
-  std::deque<double> samples_;
+  SampleWindow samples_;
 };
 
 }  // namespace bba::net

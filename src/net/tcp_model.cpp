@@ -16,6 +16,12 @@ TcpDownloadModel::TcpDownloadModel(TcpModelConfig cfg) : cfg_(cfg) {
 double TcpDownloadModel::finish_time_s(const CapacityTrace& trace,
                                        double start_s, double bits,
                                        double idle_s) const {
+  TraceCursor cursor(trace);
+  return finish_time_s(cursor, start_s, bits, idle_s);
+}
+
+double TcpDownloadModel::finish_time_s(TraceCursor& cursor, double start_s,
+                                       double bits, double idle_s) const {
   BBA_ASSERT(start_s >= 0.0 && bits >= 0.0, "invalid download request");
   if (bits == 0.0) return start_s;
 
@@ -27,12 +33,12 @@ double TcpDownloadModel::finish_time_s(const CapacityTrace& trace,
     // reaches the instantaneous path rate (then the path limits).
     double window_bits = cfg_.init_window_bits;
     for (int round = 0; round < 64; ++round) {
-      const double path_bps = trace.rate_at_bps(t);
+      const double path_bps = cursor.rate_at_bps(t);
       if (path_bps <= 0.0) {
         // Outage: nothing moves this round; skip to when capacity returns
         // by handing the remainder to the exact trace integration (which
         // waits through the outage).
-        return trace.finish_time_s(t, remaining);
+        return cursor.finish_time_s(t, remaining);
       }
       const double path_round_bits = path_bps * cfg_.rtt_s;
       if (window_bits >= path_round_bits) break;  // window caught up
@@ -47,7 +53,7 @@ double TcpDownloadModel::finish_time_s(const CapacityTrace& trace,
     }
   }
   // Warm (or caught-up) connection: capacity-limited, exact integration.
-  return trace.finish_time_s(t, remaining);
+  return cursor.finish_time_s(t, remaining);
 }
 
 }  // namespace bba::net

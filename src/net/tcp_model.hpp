@@ -18,6 +18,7 @@
 #pragma once
 
 #include "net/capacity_trace.hpp"
+#include "net/trace_cursor.hpp"
 
 namespace bba::net {
 
@@ -45,6 +46,12 @@ class TcpDownloadModel {
   /// for the first request of a session).
   double finish_time_s(const CapacityTrace& trace, double start_s,
                        double bits, double idle_s) const;
+
+  /// Cursor variant for hot loops: bit-identical to the trace overload
+  /// (the slow-start probes and the final integration are monotone in
+  /// time, so the cursor's hint advances instead of re-searching).
+  double finish_time_s(TraceCursor& cursor, double start_s, double bits,
+                       double idle_s) const;
 
   const TcpModelConfig& config() const { return cfg_; }
 

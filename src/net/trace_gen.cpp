@@ -27,13 +27,13 @@ CapacityTrace make_square_trace(double high_bps, double low_bps,
       /*loop=*/true);
 }
 
-CapacityTrace make_markov_trace(const MarkovTraceConfig& cfg,
-                                util::Rng& rng) {
+void make_markov_trace_into(const MarkovTraceConfig& cfg, util::Rng& rng,
+                            std::vector<CapacityTrace::Segment>& segments) {
   BBA_ASSERT(cfg.median_bps > 0.0, "median capacity must be > 0");
   BBA_ASSERT(cfg.duration_s > 0.0, "trace duration must be > 0");
   BBA_ASSERT(cfg.mean_dwell_s > 0.0, "mean dwell must be > 0");
+  segments.clear();
   const double mu = std::log(cfg.median_bps);
-  std::vector<CapacityTrace::Segment> segments;
   double t = 0.0;
   while (t < cfg.duration_s) {
     const double dwell =
@@ -43,18 +43,25 @@ CapacityTrace make_markov_trace(const MarkovTraceConfig& cfg,
     segments.push_back({dwell, level});
     t += dwell;
   }
+}
+
+CapacityTrace make_markov_trace(const MarkovTraceConfig& cfg,
+                                util::Rng& rng) {
+  std::vector<CapacityTrace::Segment> segments;
+  make_markov_trace_into(cfg, rng, segments);
   return CapacityTrace(std::move(segments), /*loop=*/true);
 }
 
-CapacityTrace with_outages(const CapacityTrace& base, const OutageConfig& cfg,
-                           util::Rng& rng) {
+void insert_outages(const std::vector<CapacityTrace::Segment>& base_segments,
+                    const OutageConfig& cfg, util::Rng& rng,
+                    std::vector<CapacityTrace::Segment>& segments) {
   BBA_ASSERT(cfg.mean_interval_s > 0.0, "mean outage interval must be > 0");
   BBA_ASSERT(cfg.min_outage_s > 0.0 && cfg.max_outage_s >= cfg.min_outage_s,
              "outage duration range invalid");
-  std::vector<CapacityTrace::Segment> segments;
+  segments.clear();
   double next_outage = rng.exponential(cfg.mean_interval_s);
   double t = 0.0;
-  for (const auto& seg : base.segments()) {
+  for (const auto& seg : base_segments) {
     double seg_remaining = seg.duration_s;
     while (seg_remaining > 0.0) {
       if (t + seg_remaining <= next_outage) {
@@ -75,6 +82,12 @@ CapacityTrace with_outages(const CapacityTrace& base, const OutageConfig& cfg,
       }
     }
   }
+}
+
+CapacityTrace with_outages(const CapacityTrace& base, const OutageConfig& cfg,
+                           util::Rng& rng) {
+  std::vector<CapacityTrace::Segment> segments;
+  insert_outages(base.segments(), cfg, rng, segments);
   return CapacityTrace(std::move(segments), base.loops());
 }
 

@@ -41,6 +41,13 @@ struct MarkovTraceConfig {
 /// Markov-modulated log-normal capacity trace.
 CapacityTrace make_markov_trace(const MarkovTraceConfig& cfg, util::Rng& rng);
 
+/// Allocation-free variant: clears `segments` and fills it with the same
+/// segment sequence (identical rng consumption) as make_markov_trace.
+/// Combined with CapacityTrace::assign this rebuilds a session trace with
+/// zero steady-state heap allocation.
+void make_markov_trace_into(const MarkovTraceConfig& cfg, util::Rng& rng,
+                            std::vector<CapacityTrace::Segment>& segments);
+
 /// Parameters for injecting temporary outages (Sec. 7.1: "temporary network
 /// outages of 20-30 s are not uncommon; e.g. when a DSL modem retrains or a
 /// WiFi network suffers interference").
@@ -54,6 +61,20 @@ struct OutageConfig {
 /// exponentially distributed intervals.
 CapacityTrace with_outages(const CapacityTrace& base, const OutageConfig& cfg,
                            util::Rng& rng);
+
+/// Allocation-free variant: clears `out` and fills it with `base_segments`
+/// plus inserted outages (identical rng consumption and segment sequence
+/// as with_outages).
+void insert_outages(const std::vector<CapacityTrace::Segment>& base_segments,
+                    const OutageConfig& cfg, util::Rng& rng,
+                    std::vector<CapacityTrace::Segment>& out);
+
+/// Per-thread scratch for rebuilding session traces without allocation:
+/// generation buffers ping-pong with CapacityTrace::assign's storage.
+struct TraceScratch {
+  std::vector<CapacityTrace::Segment> segments;
+  std::vector<CapacityTrace::Segment> outage_segments;
+};
 
 /// 75th/25th percentile ratio of the trace's capacity distribution sampled
 /// at `sample_period_s` over one cycle -- the paper's "variation" metric

@@ -14,4 +14,14 @@ void SessionExecutor::execute(std::size_t count,
   for (std::size_t i = 0; i < count; ++i) fold(i);
 }
 
+void SessionExecutor::execute_slotted(
+    std::size_t count,
+    const std::function<void(std::size_t, std::size_t)>& produce,
+    const std::function<void(std::size_t)>& fold, std::size_t grain) {
+  BBA_ASSERT(produce != nullptr && fold != nullptr,
+             "execute_slotted requires produce and fold");
+  pool_.parallel_for_slots(0, count, grain, produce);
+  for (std::size_t i = 0; i < count; ++i) fold(i);
+}
+
 }  // namespace bba::runtime

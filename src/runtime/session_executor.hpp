@@ -42,6 +42,17 @@ class SessionExecutor {
                const std::function<void(std::size_t)>& fold,
                std::size_t grain = 0);
 
+  /// execute() with slot-aware produce: produce(i, slot) receives the
+  /// executing thread's slot index in [0, threads()), never used by two
+  /// concurrent invocations. Pre-size per-thread scratch to threads() and
+  /// index it by slot — no locking needed. The scratch must not feed into
+  /// the produced values in any slot-dependent way, or determinism across
+  /// thread counts is lost.
+  void execute_slotted(
+      std::size_t count,
+      const std::function<void(std::size_t, std::size_t)>& produce,
+      const std::function<void(std::size_t)>& fold, std::size_t grain = 0);
+
  private:
   ThreadPool pool_;
 };

@@ -15,7 +15,8 @@ ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) threads = hardware_threads();
   workers_.reserve(threads - 1);
   for (std::size_t i = 0; i + 1 < threads; ++i) {
-    workers_.emplace_back([this] { worker_main(); });
+    // Worker i owns slot i+1; the caller is slot 0.
+    workers_.emplace_back([this, slot = i + 1] { worker_main(slot); });
   }
 }
 
@@ -28,7 +29,7 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::run_chunks(Loop& loop) {
+void ThreadPool::run_chunks(Loop& loop, std::size_t slot) {
   for (;;) {
     const std::size_t start =
         loop.next.fetch_add(loop.grain, std::memory_order_relaxed);
@@ -36,7 +37,11 @@ void ThreadPool::run_chunks(Loop& loop) {
     if (loop.failed.load(std::memory_order_relaxed)) continue;  // drain
     const std::size_t stop = std::min(loop.end, start + loop.grain);
     try {
-      for (std::size_t i = start; i < stop; ++i) (*loop.body)(i);
+      if (loop.slot_body != nullptr) {
+        for (std::size_t i = start; i < stop; ++i) (*loop.slot_body)(i, slot);
+      } else {
+        for (std::size_t i = start; i < stop; ++i) (*loop.body)(i);
+      }
     } catch (...) {
       std::lock_guard<std::mutex> lock(loop.error_mu);
       if (!loop.error) loop.error = std::current_exception();
@@ -45,7 +50,7 @@ void ThreadPool::run_chunks(Loop& loop) {
   }
 }
 
-void ThreadPool::worker_main() {
+void ThreadPool::worker_main(std::size_t slot) {
   std::uint64_t seen = 0;
   for (;;) {
     std::shared_ptr<Loop> loop;
@@ -58,12 +63,35 @@ void ThreadPool::worker_main() {
     }
     if (!loop) continue;  // loop already retired between notify and wake
     loop->in_flight.fetch_add(1, std::memory_order_relaxed);
-    run_chunks(*loop);
+    run_chunks(*loop, slot);
     if (loop->in_flight.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       std::lock_guard<std::mutex> lock(mu_);
       done_cv_.notify_all();
     }
   }
+}
+
+void ThreadPool::run_loop(const std::shared_ptr<Loop>& loop) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    loop_ = loop;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+
+  run_chunks(*loop, 0);  // the caller participates as slot 0
+
+  {
+    // All indices are claimed once run_chunks returns; wait for workers
+    // still executing their final chunk. Workers that wake later claim
+    // nothing (the cursor is past `end`) and never touch the body.
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] {
+      return loop->in_flight.load(std::memory_order_acquire) == 0;
+    });
+    loop_ = nullptr;
+  }
+  if (loop->error) std::rethrow_exception(loop->error);
 }
 
 void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
@@ -88,26 +116,30 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   loop->end = end;
   loop->grain = grain;
   loop->body = &body;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    loop_ = loop;
-    ++generation_;
-  }
-  work_cv_.notify_all();
+  run_loop(loop);
+}
 
-  run_chunks(*loop);  // the caller participates
-
-  {
-    // All indices are claimed once run_chunks returns; wait for workers
-    // still executing their final chunk. Workers that wake later claim
-    // nothing (the cursor is past `end`) and never touch `body`.
-    std::unique_lock<std::mutex> lock(mu_);
-    done_cv_.wait(lock, [&] {
-      return loop->in_flight.load(std::memory_order_acquire) == 0;
-    });
-    loop_ = nullptr;
+void ThreadPool::parallel_for_slots(
+    std::size_t begin, std::size_t end, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  BBA_ASSERT(body != nullptr, "parallel_for_slots requires a body");
+  if (end <= begin) return;
+  const std::size_t count = end - begin;
+  if (grain == 0) {
+    grain = std::max<std::size_t>(1, count / (size() * 4));
   }
-  if (loop->error) std::rethrow_exception(loop->error);
+  // Inline: the caller is the only executor, so everything is slot 0.
+  if (workers_.empty() || count <= grain) {
+    for (std::size_t i = begin; i < end; ++i) body(i, 0);
+    return;
+  }
+
+  auto loop = std::make_shared<Loop>();
+  loop->next.store(begin, std::memory_order_relaxed);
+  loop->end = end;
+  loop->grain = grain;
+  loop->slot_body = &body;
+  run_loop(loop);
 }
 
 }  // namespace bba::runtime

@@ -44,24 +44,37 @@ class ThreadPool {
   void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
                     const std::function<void(std::size_t)>& body);
 
+  /// Like parallel_for, but body(i, slot) also receives the executing
+  /// thread's stable slot index in [0, size()): the caller is slot 0,
+  /// worker k is slot k+1. No two body invocations run concurrently with
+  /// the same slot, so slot-indexed scratch storage needs no locking.
+  /// Which indices land on which slot is schedule-dependent; the
+  /// determinism contract (docs/runtime.md) is unchanged.
+  void parallel_for_slots(
+      std::size_t begin, std::size_t end, std::size_t grain,
+      const std::function<void(std::size_t, std::size_t)>& body);
+
   /// std::thread::hardware_concurrency() with a floor of 1.
   static std::size_t hardware_threads();
 
  private:
-  /// Shared state of one parallel_for invocation.
+  /// Shared state of one parallel_for invocation. Exactly one of `body`
+  /// and `slot_body` is set.
   struct Loop {
     std::atomic<std::size_t> next{0};
     std::size_t end = 0;
     std::size_t grain = 1;
     const std::function<void(std::size_t)>* body = nullptr;
+    const std::function<void(std::size_t, std::size_t)>* slot_body = nullptr;
     std::atomic<int> in_flight{0};     ///< workers currently inside the loop
     std::atomic<bool> failed{false};   ///< a body threw; drain, don't run
     std::exception_ptr error;
     std::mutex error_mu;
   };
 
-  void worker_main();
-  static void run_chunks(Loop& loop);
+  void worker_main(std::size_t slot);
+  static void run_chunks(Loop& loop, std::size_t slot);
+  void run_loop(const std::shared_ptr<Loop>& loop);
 
   std::vector<std::thread> workers_;
   std::mutex mu_;

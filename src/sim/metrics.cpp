@@ -50,6 +50,7 @@ SessionMetrics compute_metrics(const SessionResult& result,
   if (steady_weight > 0.0) {
     m.steady_rate_bps = steady_rate / steady_weight;
     m.has_steady = true;
+    m.steady_play_s = steady_weight;
   }
 
   for (std::size_t i = 1; i < result.chunks.size(); ++i) {

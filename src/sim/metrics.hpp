@@ -25,6 +25,12 @@ struct SessionMetrics {
   double switches_per_hour = 0.0;
 
   bool abandoned = false;
+
+  /// Seconds of played video past the startup window (the weight behind
+  /// steady_rate_bps; 0 when !has_steady). Aggregators weight steady-state
+  /// rates by this instead of total play time so sessions that never reach
+  /// steady state cannot dilute the average.
+  double steady_play_s = 0.0;
 };
 
 /// Computes metrics from a raw session record. `steady_after_s` is the

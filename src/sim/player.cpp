@@ -4,14 +4,15 @@
 #include <limits>
 #include <cmath>
 
+#include "net/trace_cursor.hpp"
 #include "util/assert.hpp"
 
 namespace bba::sim {
 
-SessionResult simulate_session(const media::Video& video,
-                               const net::CapacityTrace& trace,
-                               abr::RateAdaptation& abr,
-                               const PlayerConfig& config) {
+void simulate_session(const media::Video& video,
+                      const net::CapacityTrace& trace,
+                      abr::RateAdaptation& abr, const PlayerConfig& config,
+                      SessionSink& sink) {
   BBA_ASSERT(config.buffer_capacity_s >= video.chunk_duration_s(),
              "buffer must hold at least one chunk");
   BBA_ASSERT(config.play_threshold_s > 0.0 && config.resume_threshold_s > 0.0,
@@ -28,8 +29,14 @@ SessionResult simulate_session(const media::Video& video,
   const double watch_limit =
       std::min(config.watch_duration_s, remaining_s);
 
-  SessionResult res;
-  res.chunk_duration_s = V;
+  sink.on_session_start(V);
+  SessionSummary sum;
+  sum.chunk_duration_s = V;
+
+  // Session time is (nearly) monotone, so all trace integration runs
+  // through one incremental cursor: O(1) amortized per query instead of a
+  // binary search each time.
+  net::TraceCursor cursor(trace);
 
   double t = config.start_wall_s;  // wall clock
   double buffer = 0.0;  // seconds of video buffered
@@ -47,8 +54,7 @@ SessionResult simulate_session(const media::Video& video,
 
   auto close_stall = [&](double resume_t) {
     if (stall_start >= 0.0) {
-      res.rebuffers.push_back({stall_start, resume_t - stall_start,
-                               stall_chunk});
+      sink.on_rebuffer({stall_start, resume_t - stall_start, stall_chunk});
       stall_start = -1.0;
     }
   };
@@ -56,7 +62,7 @@ SessionResult simulate_session(const media::Video& video,
   for (std::size_t k = config.start_chunk; k < n; ++k) {
     if (played >= watch_limit) break;
     if (t > config.max_wall_s) {
-      res.abandoned = true;
+      sum.abandoned = true;
       break;
     }
 
@@ -97,8 +103,12 @@ SessionResult simulate_session(const media::Video& video,
     const double idle_s = prev_finish_s < 0.0
                               ? std::numeric_limits<double>::infinity()
                               : req_t - prev_finish_s;
-    const double finish = tcp ? tcp->finish_time_s(trace, t, size, idle_s)
-                              : trace.finish_time_s(t, size);
+    const double finish =
+        config.use_trace_cursor
+            ? (tcp ? tcp->finish_time_s(cursor, t, size, idle_s)
+                   : cursor.finish_time_s(t, size))
+            : (tcp ? tcp->finish_time_s(trace, t, size, idle_s)
+                   : trace.finish_time_s(t, size));
     if (!std::isfinite(finish)) {
       // The link is dead for the rest of time: play out and abandon.
       if (playing) {
@@ -107,7 +117,7 @@ SessionResult simulate_session(const media::Video& video,
         t += drain;
         buffer -= drain;
       }
-      res.abandoned = true;
+      sum.abandoned = true;
       break;
     }
     const double dl = finish - req_t;
@@ -132,11 +142,12 @@ SessionResult simulate_session(const media::Video& video,
         if (stall_start + config.give_up_stall_s < finish) {
           // The stall will outlast the viewer's patience: they walk out
           // mid-stall (engagement studies tie long rebuffers to abandons).
-          res.rebuffers.push_back({stall_start, config.give_up_stall_s, k});
-          res.abandoned = true;
-          res.played_s = played;
-          res.wall_s = stall_start + config.give_up_stall_s;
-          return res;
+          sink.on_rebuffer({stall_start, config.give_up_stall_s, k});
+          sum.abandoned = true;
+          sum.played_s = played;
+          sum.wall_s = stall_start + config.give_up_stall_s;
+          sink.on_session_end(sum);
+          return;
         }
       } else {
         buffer -= dl;
@@ -150,14 +161,14 @@ SessionResult simulate_session(const media::Video& video,
 
     if (!playing) {
       const double threshold =
-          res.started ? config.resume_threshold_s : config.play_threshold_s;
+          sum.started ? config.resume_threshold_s : config.play_threshold_s;
       // The last chunk always releases playback: there is nothing more to
       // wait for.
       if (buffer >= threshold || k + 1 == n) {
         playing = true;
-        if (!res.started) {
-          res.started = true;
-          res.join_s = t;
+        if (!sum.started) {
+          sum.started = true;
+          sum.join_s = t;
         } else {
           close_stall(t);
         }
@@ -169,15 +180,16 @@ SessionResult simulate_session(const media::Video& video,
     const double position_s =
         config.position_offset_s +
         V * static_cast<double>(k - config.start_chunk);
-    res.chunks.push_back({k, r, ladder.rate_bps(r), size, req_t, finish, dl,
-                          last_tp, buffer, off_wait, position_s});
+    sink.on_chunk({k, r, ladder.rate_bps(r), size, req_t, finish, dl,
+                   last_tp, buffer, off_wait, position_s},
+                  played);
     prev_rate = r;
   }
 
   // Downloads are done (or the session was cut); play out the buffer.
-  if (!res.started && buffer > 0.0) {
-    res.started = true;
-    res.join_s = t;
+  if (!sum.started && buffer > 0.0) {
+    sum.started = true;
+    sum.join_s = t;
     playing = true;
   }
   if (playing || buffer > 0.0) {
@@ -189,8 +201,18 @@ SessionResult simulate_session(const media::Video& video,
   }
   close_stall(t);  // session ended while stalled: close at session end
 
-  res.played_s = played;
-  res.wall_s = t;
+  sum.played_s = played;
+  sum.wall_s = t;
+  sink.on_session_end(sum);
+}
+
+SessionResult simulate_session(const media::Video& video,
+                               const net::CapacityTrace& trace,
+                               abr::RateAdaptation& abr,
+                               const PlayerConfig& config) {
+  SessionResult res;
+  RecordingSink sink(&res);
+  simulate_session(video, trace, abr, config, sink);
   return res;
 }
 

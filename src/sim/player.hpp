@@ -17,6 +17,7 @@
 #include "net/capacity_trace.hpp"
 #include "net/tcp_model.hpp"
 #include "sim/session_result.hpp"
+#include "sim/session_sink.hpp"
 
 namespace bba::sim {
 
@@ -62,11 +63,27 @@ struct PlayerConfig {
   /// instantly running at C(t): idle gaps (ON-OFF) reset the congestion
   /// window and small chunks see degraded throughput (net/tcp_model.hpp).
   std::optional<net::TcpModelConfig> tcp;
+
+  /// Resolve trace queries through the incremental TraceCursor (default).
+  /// Off falls back to the historical per-query binary search. The cursor
+  /// is exact, so results are identical either way; the flag exists so
+  /// benchmarks can measure the before/after cost.
+  bool use_trace_cursor = true;
 };
 
-/// Runs one session of `video` over `trace` with `abr` choosing rates.
-/// The ABR is reset() at session start. Deterministic: no internal
-/// randomness.
+/// Runs one session of `video` over `trace` with `abr` choosing rates,
+/// emitting every event to `sink` (sim/session_sink.hpp). The ABR is
+/// reset() at session start. Deterministic: no internal randomness. This
+/// is the allocation-free core: with a reusable sink it performs no heap
+/// allocation (trace integration runs through an incremental
+/// net::TraceCursor).
+void simulate_session(const media::Video& video,
+                      const net::CapacityTrace& trace,
+                      abr::RateAdaptation& abr, const PlayerConfig& config,
+                      SessionSink& sink);
+
+/// Convenience wrapper: records everything into a SessionResult via
+/// RecordingSink — the historical interface.
 SessionResult simulate_session(const media::Video& video,
                                const net::CapacityTrace& trace,
                                abr::RateAdaptation& abr,

@@ -1,0 +1,127 @@
+// Where a simulated session's events go.
+//
+// simulate_session historically appended every chunk to a heap-allocated
+// SessionResult::chunks vector that most callers immediately reduced to
+// SessionMetrics and threw away. SessionSink decouples the player from its
+// output: callers choose between full per-chunk recording (RecordingSink --
+// figures, per-chunk CSV logs, `bba_session --repro`) and a streaming
+// accumulator (StreamingMetricsSink) that computes SessionMetrics on the
+// fly with a small bounded ring and no chunk vector at all. The A/B
+// harness uses the streaming sink; its result is bit-identical to
+// compute_metrics() over the recorded chunks (enforced by
+// tests/test_sim_sink.cpp).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/metrics.hpp"
+#include "sim/session_result.hpp"
+
+namespace bba::sim {
+
+/// Scalar end-of-session summary (the non-vector tail of SessionResult).
+struct SessionSummary {
+  double chunk_duration_s = 0.0;  ///< V
+  double join_s = 0.0;            ///< wall time playback first started
+  double played_s = 0.0;          ///< seconds of video actually played
+  double wall_s = 0.0;            ///< wall-clock session length
+  bool started = false;           ///< playback ever began
+  bool abandoned = false;         ///< session aborted (dead link / wall cap)
+};
+
+/// Receives one session's events in simulation order. Implementations are
+/// reusable: on_session_start resets all per-session state.
+class SessionSink {
+ public:
+  virtual ~SessionSink() = default;
+
+  /// Called once before any other event. `chunk_duration_s` is V.
+  virtual void on_session_start(double chunk_duration_s) = 0;
+
+  /// One downloaded chunk, in download order. `played_s` is the content
+  /// seconds already played when the chunk landed (monotone across calls).
+  virtual void on_chunk(const ChunkRecord& chunk, double played_s) = 0;
+
+  /// One playback stall, emitted when the stall resolves (or at session
+  /// end / viewer give-up while still stalled).
+  virtual void on_rebuffer(const RebufferEvent& event) = 0;
+
+  /// Called exactly once, after every chunk and rebuffer.
+  virtual void on_session_end(const SessionSummary& summary) = 0;
+};
+
+/// Records everything into a SessionResult -- the pre-sink behaviour. The
+/// target's vectors are cleared (capacity kept) on session start, so a
+/// reused RecordingSink+SessionResult pair stops allocating once the
+/// vectors have grown to the workload.
+class RecordingSink final : public SessionSink {
+ public:
+  explicit RecordingSink(SessionResult* out);
+
+  void on_session_start(double chunk_duration_s) override;
+  void on_chunk(const ChunkRecord& chunk, double played_s) override;
+  void on_rebuffer(const RebufferEvent& event) override;
+  void on_session_end(const SessionSummary& summary) override;
+
+ private:
+  SessionResult* out_;
+};
+
+/// Computes SessionMetrics on the fly, bit-identical to
+/// compute_metrics(recorded_result, steady_after_s).
+///
+/// compute_metrics weights each chunk by how much of its video interval
+/// was played, which depends on the final played_s -- but a chunk's
+/// contribution becomes exact as soon as playback passes its interval
+/// (the clamps saturate). Downloaded-but-unplayed content is bounded by
+/// the buffer capacity, so a small FIFO of pending chunks suffices:
+/// chunks are folded into the running sums (in download order, the same
+/// floating-point sequence as compute_metrics) the moment playback passes
+/// them, and the handful still pending at session end are folded during
+/// on_session_end. The ring grows to the deepest buffer ever seen and is
+/// then reused forever: zero steady-state allocation.
+class StreamingMetricsSink final : public SessionSink {
+ public:
+  explicit StreamingMetricsSink(double steady_after_s = 120.0);
+
+  void on_session_start(double chunk_duration_s) override;
+  void on_chunk(const ChunkRecord& chunk, double played_s) override;
+  void on_rebuffer(const RebufferEvent& event) override;
+  void on_session_end(const SessionSummary& summary) override;
+
+  /// Valid after on_session_end, until the next on_session_start.
+  const SessionMetrics& metrics() const { return metrics_; }
+
+ private:
+  struct PendingChunk {
+    double position_s = 0.0;
+    double rate_bps = 0.0;
+  };
+
+  void fold(double position_s, double rate_bps, double played_portion,
+            double start_overlap);
+  void push_pending(const PendingChunk& c);
+
+  double steady_after_s_;
+  double chunk_duration_s_ = 0.0;
+
+  // Pending ring: FIFO over ring_[ (head_ + i) % ring_.size() ).
+  std::vector<PendingChunk> ring_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+
+  // Running accumulators (same order as the compute_metrics loop).
+  double total_weight_ = 0.0, total_rate_ = 0.0;
+  double start_weight_ = 0.0, start_rate_ = 0.0;
+  double steady_weight_ = 0.0, steady_rate_ = 0.0;
+  long long switch_count_ = 0;
+  std::size_t prev_rate_index_ = 0;
+  bool has_prev_rate_ = false;
+  long long rebuffer_count_ = 0;
+  double rebuffer_s_ = 0.0;
+
+  SessionMetrics metrics_;
+};
+
+}  // namespace bba::sim

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <utility>
+#include <vector>
 
 #include "media/chunk_table.hpp"
 #include "media/encoding_ladder.hpp"
@@ -103,6 +105,58 @@ TEST(ChunkTable, WindowQueriesTruncateAtEnd) {
   EXPECT_DOUBLE_EQ(t.sum_size_in_window_bits(0, 1, 100), 500.0);
   EXPECT_DOUBLE_EQ(t.sum_size_in_window_bits(0, 0, 2), 300.0);
   EXPECT_DOUBLE_EQ(t.max_size_in_window_bits(1, 2, 1), 3000.0);
+}
+
+ChunkTable irregular_table(std::size_t chunks) {
+  // Sizes with non-terminating binary fractions so that any change to the
+  // summation order would show up bitwise.
+  util::Rng rng(7);
+  std::vector<std::vector<double>> sizes(3);
+  for (auto& row : sizes) {
+    row.reserve(chunks);
+    for (std::size_t k = 0; k < chunks; ++k) {
+      row.push_back(1e5 + 9e5 * rng.uniform());
+    }
+  }
+  return ChunkTable(std::move(sizes), 4.0);
+}
+
+TEST(ChunkTable, WindowSumsMatchDirectScanBitForBit) {
+  const ChunkTable t = irregular_table(257);
+  for (std::size_t count : {std::size_t{1}, std::size_t{7}, std::size_t{120},
+                            std::size_t{500}}) {
+    for (std::size_t rate = 0; rate < t.num_rates(); ++rate) {
+      const std::vector<double>& sums = t.window_sums(rate, count);
+      ASSERT_EQ(sums.size(), t.num_chunks());
+      for (std::size_t k = 0; k < t.num_chunks(); ++k) {
+        // EXPECT_EQ on doubles is exact equality -- the memo contract.
+        EXPECT_EQ(sums[k], t.sum_size_in_window_bits(rate, k, count))
+            << "rate " << rate << " k " << k << " count " << count;
+      }
+    }
+  }
+}
+
+TEST(ChunkTable, WindowSumsReturnsStableReference) {
+  const ChunkTable t = irregular_table(64);
+  const std::vector<double>* first = &t.window_sums(0, 16);
+  t.window_sums(1, 16);  // new key: pushes another node
+  t.window_sums(0, 8);
+  EXPECT_EQ(first, &t.window_sums(0, 16));
+}
+
+TEST(ChunkTable, CopyAndMoveKeepWindowSumValues) {
+  ChunkTable original = irregular_table(64);
+  const double want = original.window_sums(0, 16)[5];
+
+  ChunkTable copy = original;  // copies data, starts with an empty memo
+  EXPECT_EQ(copy.window_sums(0, 16)[5], want);
+
+  ChunkTable moved = std::move(original);  // steals data and memo
+  EXPECT_EQ(moved.window_sums(0, 16)[5], want);
+
+  copy = moved;
+  EXPECT_EQ(copy.window_sums(0, 16)[5], want);
 }
 
 TEST(Vbr, ComplexityHasMeanOne) {

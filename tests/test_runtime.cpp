@@ -90,6 +90,87 @@ TEST(ThreadPool, ExceptionPropagatesAndPoolStaysUsable) {
   EXPECT_EQ(count.load(), 100);
 }
 
+TEST(ThreadPool, SlotsCoverEveryIndexAndStayExclusive) {
+  runtime::ThreadPool pool(4);
+  constexpr std::size_t kN = 20000;
+  std::vector<std::atomic<int>> hits(kN);
+  for (auto& h : hits) h.store(0);
+  // One occupancy flag per slot: a violation of the exclusivity contract
+  // (two concurrent bodies sharing a slot) trips the inner assertion.
+  std::vector<std::atomic<int>> occupied(pool.size());
+  for (auto& o : occupied) o.store(0);
+  std::atomic<bool> violation{false};
+  pool.parallel_for_slots(0, kN, /*grain=*/3,
+                          [&](std::size_t i, std::size_t slot) {
+                            if (slot >= pool.size() ||
+                                occupied[slot].fetch_add(1) != 0) {
+                              violation.store(true);
+                            }
+                            hits[i].fetch_add(1);
+                            occupied[slot].fetch_sub(1);
+                          });
+  EXPECT_FALSE(violation.load());
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, InlineSlotPathUsesSlotZero) {
+  runtime::ThreadPool sequential(1);
+  std::vector<std::size_t> slots;
+  sequential.parallel_for_slots(
+      0, 10, 0, [&](std::size_t, std::size_t slot) { slots.push_back(slot); });
+  ASSERT_EQ(slots.size(), 10u);
+  for (const std::size_t s : slots) EXPECT_EQ(s, 0u);
+  // Small ranges run inline on a threaded pool too.
+  runtime::ThreadPool pool(4);
+  std::size_t seen = 99;
+  pool.parallel_for_slots(0, 1, 10,
+                          [&](std::size_t, std::size_t slot) { seen = slot; });
+  EXPECT_EQ(seen, 0u);
+}
+
+TEST(SessionExecutor, SlottedExecuteMatchesPlainExecute) {
+  runtime::SessionExecutor executor(4);
+  constexpr std::size_t kN = 3000;
+  std::vector<double> plain(kN, 0.0), slotted(kN, 0.0);
+  std::vector<std::size_t> fold_order;
+  executor.execute(
+      kN, [&](std::size_t i) { plain[i] = static_cast<double>(i * i); },
+      [&](std::size_t) {});
+  executor.execute_slotted(
+      kN,
+      [&](std::size_t i, std::size_t slot) {
+        ASSERT_LT(slot, executor.threads());
+        slotted[i] = static_cast<double>(i * i);
+      },
+      [&](std::size_t i) { fold_order.push_back(i); });
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(plain[i], slotted[i]);
+    ASSERT_EQ(fold_order[i], i);
+  }
+}
+
+TEST(ChunkTableMemo, ConcurrentFirstAccessIsSafeAndConsistent) {
+  // Many threads race to build the same window-sum memos (the harness
+  // pattern right after a cold start). Every thread must read values
+  // bitwise equal to the direct scan regardless of who built the node.
+  const media::VideoLibrary library = media::VideoLibrary::standard(3);
+  runtime::ThreadPool pool(8);
+  std::atomic<int> mismatches{0};
+  pool.parallel_for(0, 64, 1, [&](std::size_t i) {
+    const media::ChunkTable& table = library.at(i % library.size()).chunks();
+    const std::size_t count = (i % 2 == 0) ? 120 : 30;
+    const std::vector<double>& sums = table.window_sums(0, count);
+    const std::size_t k = i % table.num_chunks();
+    const double direct = table.sum_size_in_window_bits(0, k, count);
+    if (std::memcmp(&sums[k], &direct, sizeof(double)) != 0) {
+      mismatches.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
 TEST(SessionExecutor, FoldRunsSequentiallyInIndexOrder) {
   runtime::SessionExecutor executor(4);
   constexpr std::size_t kN = 5000;

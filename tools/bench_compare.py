@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Compare two bench JSON files and flag sessions/sec regressions.
+
+Both micro_parallel_scaling and micro_session_hot_path emit a single JSON
+object with a ``results`` array whose rows carry ``sessions_per_sec`` plus
+identifying fields (``mode`` and/or ``threads``). This tool matches rows
+between a baseline file and a candidate file by those identifying fields
+and fails when any matched row regressed by more than the threshold.
+
+Usage:
+    tools/bench_compare.py BASELINE.json CANDIDATE.json [--threshold 0.10]
+
+Exit status: 0 when no matched row regresses beyond the threshold, 1
+otherwise (or when no rows could be matched).
+"""
+
+import argparse
+import json
+import sys
+
+
+def row_key(row):
+    """Identity of a result row: every field except the measurements."""
+    return tuple(
+        (k, row[k])
+        for k in sorted(row)
+        if k not in ("seconds", "sessions_per_sec", "allocs_per_session",
+                     "speedup")
+    )
+
+
+def load_rows(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    rows = doc.get("results")
+    if not isinstance(rows, list):
+        sys.exit(f"{path}: no 'results' array")
+    return {row_key(r): r for r in rows if "sessions_per_sec" in r}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline")
+    parser.add_argument("candidate")
+    parser.add_argument(
+        "--threshold", type=float, default=0.10,
+        help="maximum tolerated fractional slowdown (default 0.10)")
+    args = parser.parse_args()
+
+    base = load_rows(args.baseline)
+    cand = load_rows(args.candidate)
+    matched = sorted(set(base) & set(cand))
+    if not matched:
+        sys.exit("no result rows in common between the two files")
+
+    regressions = 0
+    for key in matched:
+        before = base[key]["sessions_per_sec"]
+        after = cand[key]["sessions_per_sec"]
+        delta = (after - before) / before if before > 0 else 0.0
+        label = ", ".join(f"{k}={v}" for k, v in key)
+        status = "ok"
+        if delta < -args.threshold:
+            status = "REGRESSION"
+            regressions += 1
+        print(f"{label}: {before:.1f} -> {after:.1f} sessions/sec "
+              f"({delta:+.1%}) {status}")
+
+    unmatched = (set(base) | set(cand)) - set(matched)
+    for key in sorted(unmatched):
+        label = ", ".join(f"{k}={v}" for k, v in key)
+        side = "baseline" if key in base else "candidate"
+        print(f"{label}: only in {side}, skipped")
+
+    if regressions:
+        print(f"FAIL: {regressions} row(s) regressed more than "
+              f"{args.threshold:.0%}")
+        return 1
+    print(f"PASS: no row regressed more than {args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -152,6 +152,12 @@ int main(int argc, char** argv) {
         exp::mean_delta(result, startup, g, "control", false)));
   }
   report.blank();
+  report.line(
+      "The steady column weights each session by its steady-state play "
+      "hours only (sessions shorter than the 120 s startup window carry no "
+      "weight); earlier revisions diluted the mean with whole-session "
+      "hours, which shifted steady deltas by a few kb/s.");
+  report.blank();
 
   const auto switches = exp::switches_per_hour_metric();
   report.line("## Switching rate vs Control (Figs. 9, 20, 22)");
