@@ -14,6 +14,7 @@
 #include "exp/dump.hpp"
 #include "exp/report.hpp"
 #include "media/video.hpp"
+#include "obs/setup.hpp"
 
 namespace bba::bench {
 
@@ -51,10 +52,20 @@ inline const media::VideoLibrary& standard_library() {
   return library;
 }
 
+/// Observability for the benches, driven purely by the BBA_TRACE /
+/// BBA_TRACE_SAMPLE / BBA_METRICS / BBA_PROFILE environment (benches take
+/// no flags). Installed for the process lifetime on first use; with no
+/// variable set this is inert. Tracing a figure bench never changes its
+/// numbers -- same contract as the harness.
+inline void obs_from_env() {
+  static obs::ObsScope scope(obs::ObsOptions::from_env(), bench_threads());
+}
+
 /// Runs the experiment with the requested subset of standard groups.
 /// Recognized names: control, rmin-always, bba0, bba1, bba2, bba-others.
 inline exp::AbTestResult run_standard_groups(
     const std::vector<std::string>& names) {
+  obs_from_env();
   std::vector<exp::Group> groups;
   groups.reserve(names.size());
   for (const auto& name : names) {

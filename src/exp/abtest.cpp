@@ -1,5 +1,7 @@
 #include "exp/abtest.hpp"
 
+#include <cstdint>
+
 #include "abr/baselines.hpp"
 #include "abr/control.hpp"
 #include "core/bba0.hpp"
@@ -7,8 +9,13 @@
 #include "core/bba2.hpp"
 #include "core/bba_others.hpp"
 #include "exp/session_key.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace.hpp"
 #include "runtime/session_executor.hpp"
 #include "sim/metrics.hpp"
+#include "sim/session_sink.hpp"
 #include "util/assert.hpp"
 
 namespace bba::exp {
@@ -108,6 +115,19 @@ AbTestResult run_ab_test(const std::vector<Group>& groups,
   BBA_ASSERT(cfg.days >= 1 && cfg.sessions_per_window >= 1,
              "experiment dimensions must be >= 1");
 
+  // Observability is strictly observational: the registry counts events,
+  // the profiler times phases, and the trace sink tees next to the metrics
+  // sink. None of it feeds a simulation value, so results stay
+  // bit-identical with any of it on or off (tests/test_obs_trace.cpp).
+  obs::Observability* o = obs::global();
+  obs::MetricsRegistry* registry = o != nullptr ? o->metrics.get() : nullptr;
+  obs::Profiler* profiler = o != nullptr ? o->profiler.get() : nullptr;
+  obs::TraceCollector* tracer =
+      (o != nullptr && o->trace != nullptr && o->trace->ok())
+          ? o->trace.get()
+          : nullptr;
+  obs::ScopedTimer run_span(profiler, 0, "run_ab_test");
+
   const Population population(cfg.population);
 
   AbTestResult result;
@@ -142,14 +162,27 @@ AbTestResult run_ab_test(const std::vector<Group>& groups,
     net::TraceScratch trace_scratch;
     net::CapacityTrace trace = net::CapacityTrace::constant(1.0);
     sim::StreamingMetricsSink sink;
+    obs::SessionTraceSink trace_sink;
     std::vector<std::unique_ptr<abr::RateAdaptation>> abrs;
   };
   std::vector<SessionScratch> scratch(executor.threads());
   for (auto& s : scratch) s.abrs.resize(n_groups);
 
+  // Traced sessions serialize into per-task buffers during the parallel
+  // map and are written during the sequential fold, in canonical task
+  // order -- the trace file bytes are therefore identical at every thread
+  // count, exactly like the metrics.
+  struct TaskTrace {
+    std::string lines;
+    std::uint32_t emitted = 0;
+    std::uint32_t anomalies = 0;
+  };
+  std::vector<TaskTrace> task_trace(tracer != nullptr ? n_tasks : 0);
+
   executor.execute_slotted(
       n_tasks,
       [&](std::size_t task, std::size_t slot) {
+        obs::SlotBinding metrics_binding(registry, slot);
         const std::size_t day = task / per_day;
         const std::size_t window = (task % per_day) / cfg.sessions_per_window;
         const std::size_t user = task % cfg.sessions_per_window;
@@ -165,6 +198,13 @@ AbTestResult run_ab_test(const std::vector<Group>& groups,
         sim::PlayerConfig player = cfg.player;
         player.watch_duration_s = spec.watch_duration_s;
 
+        // One sampling decision per task, shared by every group: the
+        // control and treatment timelines of a sampled session land
+        // side by side in the trace, which is what makes the A/B
+        // comparison of a single environment readable.
+        const bool traced =
+            tracer != nullptr && tracer->sampled(cfg.seed, day, window, user);
+
         for (std::size_t g = 0; g < n_groups; ++g) {
           std::unique_ptr<abr::RateAdaptation> fresh;
           abr::RateAdaptation* algorithm;
@@ -176,7 +216,41 @@ AbTestResult run_ab_test(const std::vector<Group>& groups,
             algorithm = fresh.get();
           }
           BBA_ASSERT(algorithm != nullptr, "group factory returned null");
-          sim::simulate_session(video, s.trace, *algorithm, player, s.sink);
+          // Unsampled sessions run at full speed with the plain sink; the
+          // anomaly trigger is evaluated post hoc on the finished metrics
+          // (the exact predicate the trace sink applies to its own event
+          // stream). simulate_session is a pure function of its inputs --
+          // it resets the ABR on entry -- so the rare session that needs
+          // capturing is simply re-simulated with the tee attached,
+          // reproducing the identical timeline. Tracing therefore costs
+          // the unsampled, healthy majority nothing per event.
+          bool need_tee = traced;
+          bool replay = false;
+          if (tracer != nullptr && !need_tee) {
+            sim::simulate_session(video, s.trace, *algorithm, player, s.sink);
+            const sim::SessionMetrics& m = s.sink.metrics();
+            const obs::TraceConfig& tc = tracer->config();
+            need_tee = tc.anomalies_enabled() &&
+                       (m.rebuffer_s >= tc.anomaly_rebuffer_s ||
+                        (tc.capture_abandoned && m.abandoned));
+            replay = need_tee;
+          }
+          if (tracer != nullptr && need_tee) {
+            // A replay mutes the metrics registry so the re-simulated
+            // session is not double-counted.
+            obs::SlotBinding mute(replay ? nullptr : registry, slot);
+            s.trace_sink.begin(tracer->config(), cfg.seed, day, window, user,
+                               groups[g].name, traced);
+            sim::TeeSink tee(s.sink, s.trace_sink);
+            sim::simulate_session(video, s.trace, *algorithm, player, tee);
+            TaskTrace& tt = task_trace[task];
+            if (s.trace_sink.finish(&tt.lines)) {
+              ++tt.emitted;
+              if (s.trace_sink.anomalous()) ++tt.anomalies;
+            }
+          } else if (tracer == nullptr) {
+            sim::simulate_session(video, s.trace, *algorithm, player, s.sink);
+          }
           metrics[task * n_groups + g] = s.sink.metrics();
         }
       },
@@ -187,7 +261,19 @@ AbTestResult run_ab_test(const std::vector<Group>& groups,
           accumulate(result.cells[g][day][window],
                      metrics[task * n_groups + g]);
         }
+        if (tracer != nullptr) {
+          TaskTrace& tt = task_trace[task];
+          for (std::uint32_t i = 0; i < tt.emitted; ++i) {
+            tracer->note_session(i < tt.anomalies);
+          }
+          if (!tt.lines.empty()) {
+            tracer->write(tt.lines);
+            tt.lines.clear();
+            tt.lines.shrink_to_fit();
+          }
+        }
       });
+  if (tracer != nullptr) tracer->flush();
   return result;
 }
 

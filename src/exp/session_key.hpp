@@ -29,6 +29,11 @@ enum class StreamClass : std::uint64_t {
   kEnvironment = 1,  ///< tier, base capacity, congestion state
   kTrace = 2,        ///< Markov capacity trace + outages
   kWorkload = 3,     ///< title choice and watch duration
+  /// Observability: the 1-in-N session-trace sampling decision
+  /// (obs::TraceCollector). Deliberately far from the simulation classes
+  /// so future phases can take 4, 5, ... without colliding; consuming this
+  /// stream never perturbs any simulation stream.
+  kTraceSample = 1000,
 };
 
 /// The RNG of one (session, phase): a pure function of the key, derived by

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
 #include "util/assert.hpp"
 
 namespace bba::media {
@@ -130,11 +131,15 @@ const std::vector<double>& ChunkTable::window_sums(std::size_t rate,
   const WindowSumNode* head =
       window_sums_head_.load(std::memory_order_acquire);
   for (const WindowSumNode* node = head; node != nullptr; node = node->next) {
-    if (node->rate == rate && node->count == count) return node->sums;
+    if (node->rate == rate && node->count == count) {
+      obs::count(obs::Counter::kReservoirMemoHits);
+      return node->sums;
+    }
   }
 
   // Miss: build the whole per-k table through the loop-summing function so
   // every entry is bitwise identical to the uncached path by construction.
+  obs::count(obs::Counter::kReservoirMemoBuilds);
   auto* node = new WindowSumNode{rate, count, {}, head};
   node->sums.reserve(num_chunks());
   for (std::size_t k = 0; k < num_chunks(); ++k) {

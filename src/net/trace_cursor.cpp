@@ -13,12 +13,14 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 }
 
 std::size_t TraceCursor::seek(double pos) {
+  ++queries_;
   const std::vector<double>& tp = trace_->time_prefix();
   const std::size_t last = trace_->segments().size() - 1;
   std::size_t i = hint_;
   if (i > last || tp[i] > pos) {
     // Rewind (or a hint stale after trace mutation in debug builds): the
     // trace's binary search finds the identical index.
+    ++rewinds_;
     i = trace_->segment_index_at(pos);
   } else {
     while (i < last && tp[i + 1] <= pos) ++i;

@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 #include "net/capacity_trace.hpp"
 
@@ -46,6 +47,12 @@ class TraceCursor {
   /// Bit-identical to CapacityTrace::average_bps.
   double average_bps(double t0_s, double t1_s);
 
+  /// Lookup tallies, kept as plain members (a seek runs in nanoseconds, so
+  /// even a thread-local touch per call is too expensive); the session
+  /// owner flushes them into the obs registry once, at session end.
+  std::uint32_t queries() const { return queries_; }
+  std::uint32_t rewinds() const { return rewinds_; }
+
  private:
   /// Segment index containing in-cycle time `pos` (0 <= pos <= cycle):
   /// advances the hint forward when possible, binary-searches on rewind.
@@ -57,6 +64,8 @@ class TraceCursor {
 
   const CapacityTrace* trace_;
   std::size_t hint_ = 0;
+  std::uint32_t queries_ = 0;
+  std::uint32_t rewinds_ = 0;
 };
 
 }  // namespace bba::net

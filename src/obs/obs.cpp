@@ -1,0 +1,19 @@
+#include "obs/obs.hpp"
+
+#include <atomic>
+
+namespace bba::obs {
+
+namespace {
+std::atomic<Observability*> g_observability{nullptr};
+}  // namespace
+
+Observability* global() {
+  return g_observability.load(std::memory_order_acquire);
+}
+
+void install(Observability* o) {
+  g_observability.store(o, std::memory_order_release);
+}
+
+}  // namespace bba::obs

@@ -1,0 +1,36 @@
+// Process-wide observability handle.
+//
+// A single Observability object bundles the three optional instruments --
+// metrics registry, profiler, session trace collector -- and is installed
+// globally so deep call sites (the thread pool, the A/B harness) can reach
+// them without threading pointers through hot-path signatures. Nothing is
+// installed by default: `global()` returns nullptr and every
+// instrumentation site reduces to one predictable branch.
+//
+// Ownership stays with the installer (normally obs::ObsScope in
+// obs/setup.hpp): install(nullptr) before destroying the object.
+#pragma once
+
+#include <memory>
+
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace.hpp"
+
+namespace bba::obs {
+
+/// The installed instruments; any subset may be null.
+struct Observability {
+  std::unique_ptr<MetricsRegistry> metrics;
+  std::unique_ptr<Profiler> profiler;
+  std::unique_ptr<TraceCollector> trace;
+};
+
+/// The currently installed handle, or nullptr (the default).
+Observability* global();
+
+/// Installs `o` (nullptr uninstalls). Not synchronized against concurrent
+/// harness runs: install before spawning work, uninstall after it drains.
+void install(Observability* o);
+
+}  // namespace bba::obs

@@ -1,0 +1,59 @@
+#include "obs/profile.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace bba::obs {
+
+Profiler::Profiler(std::size_t slots, std::size_t max_events_per_slot)
+    : slots_(slots == 0 ? 1 : slots),
+      max_events_(max_events_per_slot),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+void Profiler::record(std::size_t slot, const char* name, double ts_us,
+                      double dur_us) {
+  SlotBuf& buf = slots_[slot % slots_.size()];
+  if (buf.events.size() >= max_events_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  buf.events.push_back(
+      {name, ts_us, dur_us, static_cast<std::uint32_t>(slot)});
+}
+
+std::string Profiler::chrome_trace_json() const {
+  std::vector<Event> merged;
+  std::size_t total = 0;
+  for (const SlotBuf& s : slots_) total += s.events.size();
+  merged.reserve(total);
+  for (const SlotBuf& s : slots_) {
+    merged.insert(merged.end(), s.events.begin(), s.events.end());
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const Event& a, const Event& b) { return a.ts_us < b.ts_us; });
+
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  char buf[256];
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    const Event& e = merged[i];
+    std::snprintf(buf, sizeof buf,
+                  "%s{\"name\":\"%s\",\"cat\":\"bba\",\"ph\":\"X\","
+                  "\"ts\":%.3f,\"dur\":%.3f,\"pid\":0,\"tid\":%u}",
+                  i == 0 ? "" : ",", e.name, e.ts_us, e.dur_us, e.tid);
+    out += buf;
+  }
+  out += "]}";
+  return out;
+}
+
+bool Profiler::write_chrome_trace(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = chrome_trace_json();
+  std::fputs(json.c_str(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace bba::obs

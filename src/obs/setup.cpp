@@ -1,0 +1,144 @@
+#include "obs/setup.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+namespace bba::obs {
+
+namespace {
+
+const char* env_or_null(const char* name) {
+  const char* v = std::getenv(name);
+  return (v != nullptr && *v != '\0') ? v : nullptr;
+}
+
+std::size_t default_slots(std::size_t threads_hint) {
+  if (threads_hint != 0) return threads_hint;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace
+
+ObsOptions ObsOptions::from_env() {
+  ObsOptions opts;
+  if (const char* v = env_or_null("BBA_TRACE")) opts.trace_out = v;
+  if (const char* v = env_or_null("BBA_TRACE_SAMPLE")) {
+    opts.trace_sample = static_cast<std::uint64_t>(std::atoll(v));
+  }
+  if (const char* v = env_or_null("BBA_METRICS")) opts.metrics_out = v;
+  if (const char* v = env_or_null("BBA_PROFILE")) opts.profile_out = v;
+  return opts;
+}
+
+bool ObsOptions::consume_arg(int argc, char** argv, int& i) {
+  auto value = [&](const char* flag) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "%s needs a value\n", flag);
+      std::exit(2);
+    }
+    return argv[++i];
+  };
+  const char* arg = argv[i];
+  if (std::strcmp(arg, "--trace-out") == 0) {
+    trace_out = value("--trace-out");
+    return true;
+  }
+  if (std::strcmp(arg, "--trace-sample") == 0) {
+    trace_sample = static_cast<std::uint64_t>(
+        std::atoll(value("--trace-sample")));
+    return true;
+  }
+  if (std::strcmp(arg, "--metrics-out") == 0) {
+    metrics_out = value("--metrics-out");
+    return true;
+  }
+  if (std::strcmp(arg, "--profile-out") == 0) {
+    profile_out = value("--profile-out");
+    return true;
+  }
+  return false;
+}
+
+const char* ObsOptions::usage() {
+  return
+      "          [--trace-out FILE.jsonl] [--trace-sample N]  session event\n"
+      "            tracing: 1-in-N deterministic sampling + anomaly capture\n"
+      "          [--metrics-out FILE.json|-] [--profile-out FILE.json]\n"
+      "            metrics snapshot / chrome://tracing profile\n"
+      "          (env: BBA_TRACE, BBA_TRACE_SAMPLE, BBA_METRICS, "
+      "BBA_PROFILE)\n";
+}
+
+ObsScope::ObsScope(const ObsOptions& opts, std::size_t threads_hint)
+    : opts_(opts) {
+  if (!opts.any()) return;
+  const std::size_t slots = default_slots(threads_hint);
+  handle_ = std::make_unique<Observability>();
+  handle_->metrics = std::make_unique<MetricsRegistry>(slots);
+  handle_->profiler = std::make_unique<Profiler>(slots);
+  if (!opts.trace_out.empty()) {
+    TraceConfig cfg;
+    cfg.path = opts.trace_out;
+    cfg.sample = opts.trace_sample;
+    cfg.anomaly_rebuffer_s = opts.anomaly_rebuffer_s;
+    handle_->trace = std::make_unique<TraceCollector>(std::move(cfg));
+    if (!handle_->trace->ok()) {
+      std::fprintf(stderr, "obs: could not open trace output %s\n",
+                   opts.trace_out.c_str());
+      ok_ = false;
+    }
+  }
+  install(handle_.get());
+  main_binding_ =
+      std::make_unique<SlotBinding>(handle_->metrics.get(), 0);
+}
+
+ObsScope::~ObsScope() {
+  if (handle_ == nullptr) return;
+  main_binding_.reset();  // unbind before the registry goes away
+  install(nullptr);
+
+  if (handle_->trace != nullptr) handle_->trace->flush();
+
+  if (!opts_.metrics_out.empty() && handle_->metrics != nullptr) {
+    const MetricsSnapshot snap = handle_->metrics->snapshot();
+    const std::string extra =
+        handle_->trace != nullptr ? handle_->trace->stats_json() : "";
+    if (opts_.metrics_out == "-") {
+      std::printf("%s\n", snap.to_text().c_str());
+    } else if (std::FILE* f = std::fopen(opts_.metrics_out.c_str(), "w")) {
+      const std::string json = snap.to_json(extra);
+      std::fputs(json.c_str(), f);
+      std::fputc('\n', f);
+      std::fclose(f);
+      std::fprintf(stderr, "obs: wrote metrics %s\n",
+                   opts_.metrics_out.c_str());
+    } else {
+      std::fprintf(stderr, "obs: could not write metrics %s\n",
+                   opts_.metrics_out.c_str());
+    }
+  }
+  if (!opts_.profile_out.empty() && handle_->profiler != nullptr) {
+    if (handle_->profiler->write_chrome_trace(opts_.profile_out)) {
+      std::fprintf(stderr, "obs: wrote profile %s\n",
+                   opts_.profile_out.c_str());
+    } else {
+      std::fprintf(stderr, "obs: could not write profile %s\n",
+                   opts_.profile_out.c_str());
+    }
+  }
+  if (!opts_.trace_out.empty() && handle_->trace != nullptr) {
+    std::fprintf(stderr,
+                 "obs: wrote trace %s (%llu sessions, %llu anomalies)\n",
+                 opts_.trace_out.c_str(),
+                 static_cast<unsigned long long>(
+                     handle_->trace->sessions_written()),
+                 static_cast<unsigned long long>(
+                     handle_->trace->anomalies_written()));
+  }
+}
+
+}  // namespace bba::obs

@@ -1,0 +1,281 @@
+#include "obs/trace.hpp"
+
+#include <cinttypes>
+#include <cstdarg>
+
+#include "exp/session_key.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace bba::obs {
+
+namespace {
+
+void append_fmt(std::string& out, const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_end(args);
+  out += buf;
+}
+
+/// Group names are plain identifiers; escape the JSON specials anyway so a
+/// hostile name cannot corrupt the stream.
+void append_escaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (static_cast<unsigned char>(c) < 0x20) continue;
+    out += c;
+  }
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  char* const end = buf + sizeof buf;
+  char* p = end;
+  do {
+    *--p = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  out.append(p, static_cast<std::size_t>(end - p));
+}
+
+/// Appends a non-negative finite double in fixed-point with microsecond
+/// (1e-6) precision, trailing zeros trimmed. A sampled session serializes
+/// thousands of doubles; snprintf %.10g at a few hundred ns each would
+/// dominate the whole tracing budget, so the event lines use this ~10x
+/// cheaper path. Values outside the fast range (negative, >= ~9e12,
+/// non-finite) fall back to %.10g -- they are rare and still valid JSON.
+void append_num(std::string& out, double v) {
+  if (!(v >= 0.0) || v >= 9.0e12) {
+    append_fmt(out, "%.10g", v);
+    return;
+  }
+  const std::uint64_t micro = static_cast<std::uint64_t>(v * 1e6 + 0.5);
+  char buf[32];
+  char* const end = buf + sizeof buf;
+  char* p = end;
+  std::uint64_t frac = micro % 1000000;
+  if (frac != 0) {
+    int digits = 6;
+    while (frac % 10 == 0) {
+      frac /= 10;
+      --digits;
+    }
+    for (int i = 0; i < digits; ++i) {
+      *--p = static_cast<char>('0' + frac % 10);
+      frac /= 10;
+    }
+    *--p = '.';
+  }
+  std::uint64_t whole = micro / 1000000;
+  do {
+    *--p = static_cast<char>('0' + whole % 10);
+    whole /= 10;
+  } while (whole != 0);
+  out.append(p, static_cast<std::size_t>(end - p));
+}
+
+}  // namespace
+
+TraceCollector::TraceCollector(TraceConfig cfg) : cfg_(std::move(cfg)) {
+  if (!cfg_.path.empty()) {
+    file_ = std::fopen(cfg_.path.c_str(), "w");
+    ok_ = file_ != nullptr;
+  } else {
+    ok_ = true;
+  }
+}
+
+TraceCollector::~TraceCollector() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+bool TraceCollector::sampled(std::uint64_t seed, std::uint64_t day,
+                             std::uint64_t window,
+                             std::uint64_t session) const {
+  if (cfg_.sample == 0) return false;
+  if (cfg_.sample == 1) return true;
+  // Reserved substream class: a pure function of the session coordinates,
+  // so the sampled set is invariant under thread count, session order, and
+  // draw-count changes in any simulation phase.
+  util::Rng rng = exp::session_rng(
+      exp::SessionKey{seed, day, window, session},
+      exp::StreamClass::kTraceSample);
+  return rng.next_u64() % cfg_.sample == 0;
+}
+
+void TraceCollector::note_session(bool anomalous) {
+  ++sessions_written_;
+  if (anomalous) ++anomalies_written_;
+}
+
+void TraceCollector::write(const std::string& lines) {
+  bytes_written_ += lines.size();
+  if (file_ != nullptr) {
+    std::fwrite(lines.data(), 1, lines.size(), file_);
+  }
+}
+
+void TraceCollector::flush() {
+  if (file_ != nullptr) std::fflush(file_);
+}
+
+std::string TraceCollector::stats_json() const {
+  std::string out;
+  append_fmt(out,
+             "\"trace\":{\"sample\":%" PRIu64 ",\"sessions_written\":%" PRIu64
+             ",\"anomalies_written\":%" PRIu64 ",\"bytes_written\":%" PRIu64
+             "}",
+             cfg_.sample, sessions_written_, anomalies_written_,
+             bytes_written_);
+  return out;
+}
+
+void SessionTraceSink::begin(const TraceConfig& cfg, std::uint64_t seed,
+                             std::uint64_t day, std::uint64_t window,
+                             std::uint64_t session, std::string_view group,
+                             bool sampled) {
+  cfg_ = &cfg;
+  seed_ = seed;
+  day_ = day;
+  window_ = window;
+  session_ = session;
+  group_.assign(group.data(), group.size());
+  sampled_ = sampled;
+  capture_ = sampled || cfg.anomalies_enabled();
+  emit_ = false;
+  anomalous_ = false;
+  ended_ = false;
+  chunks_.clear();
+  played_at_chunk_.clear();
+  rebuffers_.clear();
+  summary_ = sim::SessionSummary{};
+  rebuffer_total_s_ = 0.0;
+}
+
+void SessionTraceSink::on_session_start(double chunk_duration_s) {
+  summary_.chunk_duration_s = chunk_duration_s;
+}
+
+void SessionTraceSink::on_chunk(const sim::ChunkRecord& chunk,
+                                double played_s) {
+  if (!capture_) return;
+  chunks_.push_back(chunk);
+  played_at_chunk_.push_back(played_s);
+}
+
+void SessionTraceSink::on_rebuffer(const sim::RebufferEvent& event) {
+  rebuffer_total_s_ += event.duration_s;
+  if (!capture_) return;
+  rebuffers_.push_back(event);
+}
+
+void SessionTraceSink::on_session_end(const sim::SessionSummary& summary) {
+  summary_ = summary;
+  ended_ = true;
+  if (cfg_ == nullptr) return;
+  anomalous_ = rebuffer_total_s_ >= cfg_->anomaly_rebuffer_s ||
+               (cfg_->capture_abandoned && summary.abandoned);
+  emit_ = capture_ && (sampled_ || anomalous_);
+}
+
+bool SessionTraceSink::finish(std::string* out) const {
+  BBA_ASSERT(ended_, "finish() requires a completed session");
+  if (!emit_ || out == nullptr) return emit_;
+  std::string& o = *out;
+
+  append_fmt(o,
+             "{\"ev\":\"session\",\"seed\":%" PRIu64 ",\"day\":%" PRIu64
+             ",\"window\":%" PRIu64 ",\"session\":%" PRIu64 ",\"group\":\"",
+             seed_, day_, window_, session_);
+  append_escaped(o, group_);
+  append_fmt(o,
+             "\",\"sampled\":%s,\"anomaly\":%s,\"v_s\":%.10g,"
+             "\"started\":%s,\"abandoned\":%s,\"join_s\":%.10g,"
+             "\"played_s\":%.10g,\"wall_s\":%.10g,\"rebuffer_count\":%zu,"
+             "\"rebuffer_s\":%.10g,\"chunks\":%zu}\n",
+             sampled_ ? "true" : "false", anomalous_ ? "true" : "false",
+             summary_.chunk_duration_s, summary_.started ? "true" : "false",
+             summary_.abandoned ? "true" : "false", summary_.join_s,
+             summary_.played_s, summary_.wall_s, rebuffers_.size(),
+             rebuffer_total_s_, chunks_.size());
+
+  // Chronological merge of the chunk-derived lines (OFF wait, rate switch,
+  // chunk completion -- times monotone across chunks) with the stall lines
+  // (monotone in start_s). Stalls start mid-download, so they interleave
+  // between a chunk's request and its completion.
+  std::size_t ri = 0;
+  auto emit_stalls_before = [&](double t) {
+    while (ri < rebuffers_.size() && rebuffers_[ri].start_s <= t) {
+      const sim::RebufferEvent& r = rebuffers_[ri++];
+      o += "{\"ev\":\"stall\",\"k\":";
+      append_u64(o, r.chunk_index);
+      o += ",\"start_s\":";
+      append_num(o, r.start_s);
+      o += ",\"dur_s\":";
+      append_num(o, r.duration_s);
+      o += "}\n";
+    }
+  };
+
+  bool has_prev_rate = false;
+  std::size_t prev_rate = 0;
+  for (std::size_t i = 0; i < chunks_.size(); ++i) {
+    const sim::ChunkRecord& c = chunks_[i];
+    if (c.off_wait_s > 0.0) {
+      const double off_start = c.request_s - c.off_wait_s;
+      emit_stalls_before(off_start);
+      o += "{\"ev\":\"off\",\"k\":";
+      append_u64(o, c.index);
+      o += ",\"start_s\":";
+      append_num(o, off_start);
+      o += ",\"wait_s\":";
+      append_num(o, c.off_wait_s);
+      o += "}\n";
+    }
+    if (has_prev_rate && c.rate_index != prev_rate) {
+      emit_stalls_before(c.request_s);
+      o += "{\"ev\":\"switch\",\"k\":";
+      append_u64(o, c.index);
+      o += ",\"t_s\":";
+      append_num(o, c.request_s);
+      o += ",\"from\":";
+      append_u64(o, prev_rate);
+      o += ",\"to\":";
+      append_u64(o, c.rate_index);
+      o += "}\n";
+    }
+    prev_rate = c.rate_index;
+    has_prev_rate = true;
+    emit_stalls_before(c.finish_s);
+    o += "{\"ev\":\"chunk\",\"k\":";
+    append_u64(o, c.index);
+    o += ",\"rate\":";
+    append_u64(o, c.rate_index);
+    o += ",\"rate_bps\":";
+    append_num(o, c.rate_bps);
+    o += ",\"bits\":";
+    append_num(o, c.size_bits);
+    o += ",\"req_s\":";
+    append_num(o, c.request_s);
+    o += ",\"fin_s\":";
+    append_num(o, c.finish_s);
+    o += ",\"dl_s\":";
+    append_num(o, c.download_s);
+    o += ",\"tput_bps\":";
+    append_num(o, c.throughput_bps);
+    o += ",\"buf_s\":";
+    append_num(o, c.buffer_after_s);
+    o += ",\"pos_s\":";
+    append_num(o, c.position_s);
+    o += ",\"played_s\":";
+    append_num(o, played_at_chunk_[i]);
+    o += "}\n";
+  }
+  emit_stalls_before(std::numeric_limits<double>::infinity());
+  return true;
+}
+
+}  // namespace bba::obs

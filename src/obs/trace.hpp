@@ -1,0 +1,158 @@
+// Deterministic chunk-level session tracing to JSONL.
+//
+// The paper's per-session figures (4, 11, 16, 21) are chunk timelines; the
+// A/B harness historically threw that information away. SessionTraceSink is
+// a sim::SessionSink (tee it next to the Recording/StreamingMetrics sinks)
+// that buffers one session's chunk / stall / switch / OFF-period events and
+// serializes them as JSON lines when the session qualifies:
+//
+//  * deterministic sampling -- 1-in-N sessions, decided purely from the
+//    session's grid coordinates via util::Rng::substream with the reserved
+//    exp::StreamClass::kTraceSample, so the traced session set (and, with
+//    the harness's canonical-order writing, the trace file bytes) is
+//    identical at every thread count; or
+//  * the anomaly trigger -- any session whose total stall time crosses
+//    TraceConfig::anomaly_rebuffer_s, or that is abandoned / gives up,
+//    captures its full timeline regardless of sampling. That is the
+//    paper's Fig. 4 "aggressive case study" reproduced on demand: feed the
+//    line back through `bba_session --repro-trace` to replay it bit-exact.
+//
+// Tracing never perturbs simulation values: the sink only observes events,
+// so A/B results are bit-identical with tracing on, off, or at any
+// sampling rate (tests/test_obs_trace.cpp enforces this).
+//
+// File schema: docs/observability.md. A session's header line ("ev":
+// "session", carrying coordinates, group, and summary) precedes its event
+// lines; event lines belong to the most recent header.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "sim/session_sink.hpp"
+
+namespace bba::obs {
+
+/// Tracing parameters.
+struct TraceConfig {
+  /// Output JSONL path; empty discards serialized sessions (benchmarks
+  /// measure serialization without I/O that way).
+  std::string path;
+
+  /// Sample 1-in-N sessions deterministically (0 = sampling off, only
+  /// anomalies are captured; 1 = every session).
+  std::uint64_t sample = 64;
+
+  /// Anomaly trigger: capture any session whose total stall time reaches
+  /// this many seconds (infinity disables).
+  double anomaly_rebuffer_s = 30.0;
+
+  /// Anomaly trigger: capture abandoned / gave-up sessions.
+  bool capture_abandoned = true;
+
+  bool anomalies_enabled() const {
+    return capture_abandoned ||
+           anomaly_rebuffer_s < std::numeric_limits<double>::infinity();
+  }
+};
+
+/// Owns the trace output file and the sampling decision. The harness calls
+/// `sampled()` from any thread (pure function of the coordinates) and
+/// `write()` from exactly one thread, in canonical task order, so the file
+/// is deterministic.
+class TraceCollector {
+ public:
+  explicit TraceCollector(TraceConfig cfg);
+  ~TraceCollector();
+
+  TraceCollector(const TraceCollector&) = delete;
+  TraceCollector& operator=(const TraceCollector&) = delete;
+
+  const TraceConfig& config() const { return cfg_; }
+
+  /// True when the file opened (or no file was requested).
+  bool ok() const { return ok_; }
+
+  /// Deterministic 1-in-N decision for session (seed, day, window,
+  /// session): a pure function of the coordinates, independent of thread
+  /// count, other sessions, or call order.
+  bool sampled(std::uint64_t seed, std::uint64_t day, std::uint64_t window,
+               std::uint64_t session) const;
+
+  /// Appends pre-serialized JSONL (single-writer; the harness calls this
+  /// from its sequential fold). Empty config path counts but discards.
+  void write(const std::string& lines);
+
+  void flush();
+
+  // Tallies for the metrics snapshot.
+  std::uint64_t sessions_written() const { return sessions_written_; }
+  std::uint64_t anomalies_written() const { return anomalies_written_; }
+  std::uint64_t bytes_written() const { return bytes_written_; }
+  void note_session(bool anomalous);
+
+  /// `"trace":{...}` JSON fragment for MetricsSnapshot::to_json.
+  std::string stats_json() const;
+
+ private:
+  TraceConfig cfg_;
+  std::FILE* file_ = nullptr;
+  bool ok_ = false;
+  std::uint64_t sessions_written_ = 0;
+  std::uint64_t anomalies_written_ = 0;
+  std::uint64_t bytes_written_ = 0;
+};
+
+/// Buffers one session's events and serializes them on demand. Reusable:
+/// begin() resets all per-session state, and the event buffers only grow
+/// to the largest traced session (no steady-state allocation once warm).
+class SessionTraceSink final : public sim::SessionSink {
+ public:
+  SessionTraceSink() = default;
+
+  /// Arms the sink for the next session. `sampled` is the collector's
+  /// deterministic decision; buffering is skipped entirely when the
+  /// session is unsampled and anomaly capture is off.
+  void begin(const TraceConfig& cfg, std::uint64_t seed, std::uint64_t day,
+             std::uint64_t window, std::uint64_t session,
+             std::string_view group, bool sampled);
+
+  // sim::SessionSink
+  void on_session_start(double chunk_duration_s) override;
+  void on_chunk(const sim::ChunkRecord& chunk, double played_s) override;
+  void on_rebuffer(const sim::RebufferEvent& event) override;
+  void on_session_end(const sim::SessionSummary& summary) override;
+
+  /// After on_session_end: true if the session qualified (sampled or
+  /// anomalous). Valid until the next begin().
+  bool should_emit() const { return emit_; }
+
+  /// True if the anomaly trigger fired for the last session.
+  bool anomalous() const { return anomalous_; }
+
+  /// Serializes the buffered session (header line + chronological event
+  /// lines) and appends to `out` if it qualified. Returns should_emit().
+  bool finish(std::string* out) const;
+
+ private:
+  const TraceConfig* cfg_ = nullptr;
+  std::uint64_t seed_ = 0, day_ = 0, window_ = 0, session_ = 0;
+  std::string group_;
+  bool sampled_ = false;
+  bool capture_ = false;  ///< buffer events at all
+  bool emit_ = false;
+  bool anomalous_ = false;
+
+  std::vector<sim::ChunkRecord> chunks_;
+  std::vector<double> played_at_chunk_;
+  std::vector<sim::RebufferEvent> rebuffers_;
+  sim::SessionSummary summary_;
+  double rebuffer_total_s_ = 0.0;
+  bool ended_ = false;
+};
+
+}  // namespace bba::obs

@@ -1,8 +1,17 @@
 #include "runtime/session_executor.hpp"
 
+#include "obs/obs.hpp"
+#include "obs/profile.hpp"
 #include "util/assert.hpp"
 
 namespace bba::runtime {
+
+namespace {
+obs::Profiler* profiler() {
+  obs::Observability* o = obs::global();
+  return o != nullptr ? o->profiler.get() : nullptr;
+}
+}  // namespace
 
 void SessionExecutor::execute(std::size_t count,
                               const std::function<void(std::size_t)>& produce,
@@ -10,7 +19,12 @@ void SessionExecutor::execute(std::size_t count,
                               std::size_t grain) {
   BBA_ASSERT(produce != nullptr && fold != nullptr,
              "execute requires produce and fold");
-  pool_.parallel_for(0, count, grain, produce);
+  obs::Profiler* prof = profiler();
+  {
+    obs::ScopedTimer span(prof, 0, "executor.map");
+    pool_.parallel_for(0, count, grain, produce);
+  }
+  obs::ScopedTimer span(prof, 0, "executor.fold");
   for (std::size_t i = 0; i < count; ++i) fold(i);
 }
 
@@ -20,7 +34,12 @@ void SessionExecutor::execute_slotted(
     const std::function<void(std::size_t)>& fold, std::size_t grain) {
   BBA_ASSERT(produce != nullptr && fold != nullptr,
              "execute_slotted requires produce and fold");
-  pool_.parallel_for_slots(0, count, grain, produce);
+  obs::Profiler* prof = profiler();
+  {
+    obs::ScopedTimer span(prof, 0, "executor.map");
+    pool_.parallel_for_slots(0, count, grain, produce);
+  }
+  obs::ScopedTimer span(prof, 0, "executor.fold");
   for (std::size_t i = 0; i < count; ++i) fold(i);
 }
 

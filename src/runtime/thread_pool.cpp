@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/profile.hpp"
 #include "util/assert.hpp"
 
 namespace bba::runtime {
@@ -30,10 +33,25 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::run_chunks(Loop& loop, std::size_t slot) {
+  // Pool-level metrics bypass the thread-local binding (workers only bind
+  // inside the body, around each unit of work) and write straight to this
+  // slot's shard. Null when observability is off: no stores, no spans.
+  obs::Observability* o = obs::global();
+  obs::MetricsRegistry::Slot* ms =
+      (o != nullptr && o->metrics != nullptr) ? &o->metrics->slot_at(slot)
+                                              : nullptr;
+  obs::ScopedTimer span(o != nullptr ? o->profiler.get() : nullptr, slot,
+                        "pool.participate");
+  if (ms != nullptr) ms->count(obs::Counter::kPoolLoops);
   for (;;) {
     const std::size_t start =
         loop.next.fetch_add(loop.grain, std::memory_order_relaxed);
     if (start >= loop.end) return;
+    if (ms != nullptr) {
+      ms->count(obs::Counter::kPoolChunksClaimed);
+      ms->observe(obs::Hist::kExecutorBacklog,
+                  static_cast<double>(loop.end - start));
+    }
     if (loop.failed.load(std::memory_order_relaxed)) continue;  // drain
     const std::size_t stop = std::min(loop.end, start + loop.grain);
     try {

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <limits>
+#include <cstdint>
 #include <cmath>
 
 #include "net/trace_cursor.hpp"
+#include "obs/metrics.hpp"
 #include "util/assert.hpp"
 
 namespace bba::sim {
@@ -38,6 +40,12 @@ void simulate_session(const media::Video& video,
   // binary search each time.
   net::TraceCursor cursor(trace);
 
+  // Per-chunk obs counters batch in locals (plain adds) and flush once at
+  // session end -- per-chunk thread-local touches are too expensive here.
+  std::uint32_t obs_chunks = 0;
+  std::uint32_t obs_offs = 0;
+  std::uint32_t obs_switches = 0;
+
   double t = config.start_wall_s;  // wall clock
   double buffer = 0.0;  // seconds of video buffered
   double played = 0.0;  // seconds of video played
@@ -54,6 +62,8 @@ void simulate_session(const media::Video& video,
 
   auto close_stall = [&](double resume_t) {
     if (stall_start >= 0.0) {
+      obs::count(obs::Counter::kRebuffers);
+      obs::observe(obs::Hist::kStallSeconds, resume_t - stall_start);
       sink.on_rebuffer({stall_start, resume_t - stall_start, stall_chunk});
       stall_start = -1.0;
     }
@@ -142,10 +152,19 @@ void simulate_session(const media::Video& video,
         if (stall_start + config.give_up_stall_s < finish) {
           // The stall will outlast the viewer's patience: they walk out
           // mid-stall (engagement studies tie long rebuffers to abandons).
+          obs::count(obs::Counter::kRebuffers);
+          obs::observe(obs::Hist::kStallSeconds, config.give_up_stall_s);
           sink.on_rebuffer({stall_start, config.give_up_stall_s, k});
           sum.abandoned = true;
           sum.played_s = played;
           sum.wall_s = stall_start + config.give_up_stall_s;
+          obs::count(obs::Counter::kSessions);
+          obs::count(obs::Counter::kSessionsAbandoned);
+          obs::count(obs::Counter::kChunksDownloaded, obs_chunks);
+          obs::count(obs::Counter::kOffPeriods, obs_offs);
+          obs::count(obs::Counter::kRateSwitches, obs_switches);
+          obs::count(obs::Counter::kCursorQueries, cursor.queries());
+          obs::count(obs::Counter::kCursorRewinds, cursor.rewinds());
           sink.on_session_end(sum);
           return;
         }
@@ -177,6 +196,13 @@ void simulate_session(const media::Video& video,
 
     last_dl = dl;
     last_tp = dl > 0.0 ? size / dl : 0.0;
+    ++obs_chunks;
+    obs::observe(obs::Hist::kDownloadSeconds, dl);
+    if (off_wait > 0.0) {
+      ++obs_offs;
+      obs::observe(obs::Hist::kOffWaitSeconds, off_wait);
+    }
+    if (k > config.start_chunk && r != prev_rate) ++obs_switches;
     const double position_s =
         config.position_offset_s +
         V * static_cast<double>(k - config.start_chunk);
@@ -203,6 +229,13 @@ void simulate_session(const media::Video& video,
 
   sum.played_s = played;
   sum.wall_s = t;
+  obs::count(obs::Counter::kSessions);
+  if (sum.abandoned) obs::count(obs::Counter::kSessionsAbandoned);
+  obs::count(obs::Counter::kChunksDownloaded, obs_chunks);
+  obs::count(obs::Counter::kOffPeriods, obs_offs);
+  obs::count(obs::Counter::kRateSwitches, obs_switches);
+  obs::count(obs::Counter::kCursorQueries, cursor.queries());
+  obs::count(obs::Counter::kCursorRewinds, cursor.rewinds());
   sink.on_session_end(sum);
 }
 

@@ -51,6 +51,38 @@ class SessionSink {
   virtual void on_session_end(const SessionSummary& summary) = 0;
 };
 
+/// Forwards every event to two sinks, first then second -- how the A/B
+/// harness attaches an observability trace sink next to its metrics sink
+/// without either knowing about the other. Cheap to construct on the
+/// stack per session (two pointers, no allocation); both sinks see the
+/// exact event sequence they would see alone.
+class TeeSink final : public SessionSink {
+ public:
+  TeeSink(SessionSink& first, SessionSink& second)
+      : first_(&first), second_(&second) {}
+
+  void on_session_start(double chunk_duration_s) override {
+    first_->on_session_start(chunk_duration_s);
+    second_->on_session_start(chunk_duration_s);
+  }
+  void on_chunk(const ChunkRecord& chunk, double played_s) override {
+    first_->on_chunk(chunk, played_s);
+    second_->on_chunk(chunk, played_s);
+  }
+  void on_rebuffer(const RebufferEvent& event) override {
+    first_->on_rebuffer(event);
+    second_->on_rebuffer(event);
+  }
+  void on_session_end(const SessionSummary& summary) override {
+    first_->on_session_end(summary);
+    second_->on_session_end(summary);
+  }
+
+ private:
+  SessionSink* first_;
+  SessionSink* second_;
+};
+
 /// Records everything into a SessionResult -- the pre-sink behaviour. The
 /// target's vectors are cleared (capacity kept) on session start, so a
 /// reused RecordingSink+SessionResult pair stops allocating once the

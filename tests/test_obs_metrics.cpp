@@ -1,0 +1,179 @@
+// The metrics registry, slot binding, profiler, and snapshot writers.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "core/bba2.hpp"
+#include "media/video.hpp"
+#include "net/trace_gen.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/profile.hpp"
+#include "sim/player.hpp"
+#include "util/rng.hpp"
+
+namespace bba {
+namespace {
+
+TEST(ObsMetrics, UnboundCountsAreDropped) {
+  ASSERT_FALSE(obs::metrics_enabled());
+  obs::count(obs::Counter::kSessions);  // must be a no-op, not a crash
+  obs::observe(obs::Hist::kDownloadSeconds, 1.0);
+}
+
+TEST(ObsMetrics, BindingRoutesToSlotAndRestores) {
+  obs::MetricsRegistry registry(2);
+  {
+    obs::SlotBinding bind(&registry, 0);
+    EXPECT_TRUE(obs::metrics_enabled());
+    obs::count(obs::Counter::kSessions);
+    obs::count(obs::Counter::kChunksDownloaded, 5);
+    {
+      obs::SlotBinding nested(&registry, 1);
+      obs::count(obs::Counter::kSessions);
+    }
+    obs::count(obs::Counter::kSessions);  // back on slot 0
+  }
+  EXPECT_FALSE(obs::metrics_enabled());
+
+  const obs::MetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.counter(obs::Counter::kSessions), 3u);
+  EXPECT_EQ(snap.counter(obs::Counter::kChunksDownloaded), 5u);
+}
+
+TEST(ObsMetrics, NullRegistryBindsNothing) {
+  obs::SlotBinding bind(nullptr, 0);
+  EXPECT_FALSE(obs::metrics_enabled());
+}
+
+TEST(ObsMetrics, SlotIndexWraps) {
+  obs::MetricsRegistry registry(2);
+  registry.slot_at(5).count(obs::Counter::kSessions);  // 5 % 2 == 1
+  const obs::MetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.counter(obs::Counter::kSessions), 1u);
+}
+
+TEST(ObsMetrics, HistogramBucketsCountAndSum) {
+  obs::MetricsRegistry registry(1);
+  auto& slot = registry.slot_at(0);
+  slot.observe(obs::Hist::kDownloadSeconds, 0.5);
+  slot.observe(obs::Hist::kDownloadSeconds, 2.0);
+  slot.observe(obs::Hist::kDownloadSeconds, 2.5);
+
+  const obs::MetricsSnapshot snap = registry.snapshot();
+  const auto& h = snap.hist(obs::Hist::kDownloadSeconds);
+  EXPECT_EQ(h.count, 3u);
+  EXPECT_NEAR(h.sum, 5.0, 1e-5);
+  std::uint64_t bucket_total = 0;
+  for (std::uint64_t b : h.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, 3u);
+  // 2.0 and 2.5 land in the same power-of-two bucket; 0.5 in a lower one.
+  EXPECT_NE(obs::HistSlot::bucket_of(0.5), obs::HistSlot::bucket_of(2.0));
+  EXPECT_EQ(obs::HistSlot::bucket_of(2.0), obs::HistSlot::bucket_of(2.5));
+}
+
+TEST(ObsMetrics, BucketEdgesAreMonotone) {
+  for (int i = 1; i < obs::HistSlot::kBuckets; ++i) {
+    EXPECT_LT(obs::HistSlot::bucket_edge(i - 1), obs::HistSlot::bucket_edge(i));
+  }
+  // Extreme values clamp instead of indexing out of range.
+  EXPECT_EQ(obs::HistSlot::bucket_of(0.0), 0);
+  EXPECT_EQ(obs::HistSlot::bucket_of(-1.0), 0);
+  EXPECT_EQ(obs::HistSlot::bucket_of(1e300), obs::HistSlot::kBuckets - 1);
+}
+
+TEST(ObsMetrics, SnapshotMergesAcrossSlotsAndThreads) {
+  obs::MetricsRegistry registry(4);
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < 4; ++t) {
+    threads.emplace_back([&registry, t] {
+      obs::SlotBinding bind(&registry, t);
+      for (int i = 0; i < 1000; ++i) {
+        obs::count(obs::Counter::kCursorQueries);
+        obs::observe(obs::Hist::kStallSeconds, 1.0);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const obs::MetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.counter(obs::Counter::kCursorQueries), 4000u);
+  EXPECT_EQ(snap.hist(obs::Hist::kStallSeconds).count, 4000u);
+}
+
+TEST(ObsMetrics, JsonAndTextContainNamedEntries) {
+  obs::MetricsRegistry registry(1);
+  registry.slot_at(0).count(obs::Counter::kRebuffers, 7);
+  registry.slot_at(0).observe(obs::Hist::kStallSeconds, 3.0);
+  const obs::MetricsSnapshot snap = registry.snapshot();
+
+  const std::string json = snap.to_json();
+  EXPECT_NE(json.find("\"rebuffers\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"stall_seconds\""), std::string::npos);
+
+  const std::string with_extra = snap.to_json("\"trace\":{\"sample\":64}");
+  EXPECT_NE(with_extra.find("\"trace\":{\"sample\":64}"), std::string::npos);
+
+  const std::string text = snap.to_text();
+  EXPECT_NE(text.find("rebuffers"), std::string::npos);
+}
+
+TEST(ObsMetrics, PlayerEmitsCountersWhenBound) {
+  obs::MetricsRegistry registry(1);
+  util::Rng rng(7);
+  const net::CapacityTrace trace =
+      net::make_markov_trace(net::MarkovTraceConfig{}, rng);
+  const media::Video video = media::make_vbr_video(
+      "t", media::EncodingLadder::netflix_2013(), 200, 4.0,
+      media::VbrConfig{}, rng);
+  core::Bba2 abr;
+  sim::PlayerConfig player;
+  player.watch_duration_s = 300.0;
+  {
+    obs::SlotBinding bind(&registry, 0);
+    (void)sim::simulate_session(video, trace, abr, player);
+  }
+  const obs::MetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.counter(obs::Counter::kSessions), 1u);
+  EXPECT_GT(snap.counter(obs::Counter::kChunksDownloaded), 0u);
+  EXPECT_EQ(snap.hist(obs::Hist::kDownloadSeconds).count,
+            snap.counter(obs::Counter::kChunksDownloaded));
+}
+
+TEST(ObsProfiler, RecordsAndSerializesSpans) {
+  obs::Profiler profiler(2);
+  {
+    obs::ScopedTimer t(&profiler, 0, "outer");
+    obs::ScopedTimer u(&profiler, 1, "inner");
+  }
+  profiler.record(5, "wrapped", 0.0, 1.0);  // slot wraps modulo 2
+  const std::string json = profiler.chrome_trace_json();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"outer\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"inner\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"wrapped\""), std::string::npos);
+  EXPECT_EQ(profiler.dropped(), 0u);
+}
+
+TEST(ObsProfiler, DropsBeyondCapInsteadOfGrowing) {
+  obs::Profiler profiler(1, 4);
+  for (int i = 0; i < 10; ++i) profiler.record(0, "e", 0.0, 1.0);
+  EXPECT_EQ(profiler.dropped(), 6u);
+}
+
+TEST(ObsProfiler, NullProfilerTimerIsANoOp) {
+  obs::ScopedTimer t(nullptr, 0, "nothing");
+}
+
+TEST(ObsGlobal, InstallAndUninstall) {
+  EXPECT_EQ(obs::global(), nullptr);
+  obs::Observability handle;
+  obs::install(&handle);
+  EXPECT_EQ(obs::global(), &handle);
+  obs::install(nullptr);
+  EXPECT_EQ(obs::global(), nullptr);
+}
+
+}  // namespace
+}  // namespace bba

@@ -28,6 +28,7 @@
 #include "exp/report.hpp"
 #include "media/video.hpp"
 #include "net/estimators.hpp"
+#include "obs/setup.hpp"
 
 namespace {
 
@@ -81,9 +82,10 @@ void usage(const char* argv0) {
       "                          bit-identical for every thread count)\n"
       "          [--metric rebuffers|rate|steady|startup|switches]\n"
       "          [--baseline GROUP] [--csv PREFIX]\n"
+      "%s"
       "groups: control throughput pid elastic bola rmin-always bba0 bba1 "
       "bba2 bba-others\n",
-      argv0);
+      argv0, bba::obs::ObsOptions::usage());
 }
 
 }  // namespace
@@ -95,8 +97,10 @@ int main(int argc, char** argv) {
   std::string metric_name = "rebuffers";
   std::string baseline = "control";
   std::string csv_prefix;
+  obs::ObsOptions obs_opts = obs::ObsOptions::from_env();
 
   for (int i = 1; i < argc; ++i) {
+    if (obs_opts.consume_arg(argc, argv, i)) continue;
     const std::string arg = argv[i];
     auto next = [&](const char* flag) -> const char* {
       if (i + 1 >= argc) {
@@ -163,6 +167,8 @@ int main(int argc, char** argv) {
               groups.size(), cfg.sessions_per_window, cfg.days,
               static_cast<unsigned long long>(cfg.seed));
   const media::VideoLibrary library = media::VideoLibrary::standard(11);
+  obs::ObsScope obs_scope(obs_opts, cfg.threads);
+  if (!obs_scope.ok()) return 1;
   const exp::AbTestResult result = exp::run_ab_test(groups, library, cfg);
 
   exp::print_absolute_by_window(result, metric);

@@ -13,8 +13,17 @@
 // default population/workload and the standard library) gives session
 // (DAY, WINDOW, SESSION) under experiment seed --seed: all streams are
 // pure functions of those coordinates, so the replay is bit-exact.
+//
+// --repro-trace FILE.jsonl reads a session trace written by
+// `bba_abtest --trace-out` and replays its first anomalous session (or the
+// one picked with --repro-pick N) the same way: the header line carries the
+// grid coordinates and group, which are all a bit-exact replay needs. The
+// replay prints a Fig. 4-style chunk timeline -- the paper's case-study
+// plot recovered from one line of a production-style trace.
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <limits>
 #include <memory>
 #include <optional>
 #include <string>
@@ -34,9 +43,12 @@
 #include "media/video.hpp"
 #include "net/trace_gen.hpp"
 #include "net/trace_io.hpp"
+#include "obs/setup.hpp"
+#include "obs/trace.hpp"
 #include "sim/metrics.hpp"
 #include "sim/player.hpp"
 #include "sim/qoe.hpp"
+#include "sim/session_sink.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
@@ -59,6 +71,113 @@ std::unique_ptr<abr::RateAdaptation> make_abr(const std::string& name) {
   return nullptr;
 }
 
+/// One "ev":"session" header line from a --trace-out JSONL file.
+struct TraceSessionRef {
+  unsigned long long seed = 0, day = 0, window = 0, session = 0;
+  std::string group;
+  bool anomaly = false;
+};
+
+bool json_u64(const std::string& line, const char* key,
+              unsigned long long* out) {
+  const std::string needle = std::string("\"") + key + "\":";
+  const auto pos = line.find(needle);
+  if (pos == std::string::npos) return false;
+  return std::sscanf(line.c_str() + pos + needle.size(), "%llu", out) == 1;
+}
+
+bool json_str(const std::string& line, const char* key, std::string* out) {
+  const std::string needle = std::string("\"") + key + "\":\"";
+  const auto pos = line.find(needle);
+  if (pos == std::string::npos) return false;
+  const auto start = pos + needle.size();
+  const auto end = line.find('"', start);
+  if (end == std::string::npos) return false;
+  *out = line.substr(start, end - start);
+  return true;
+}
+
+bool json_true(const std::string& line, const char* key) {
+  return line.find(std::string("\"") + key + "\":true") != std::string::npos;
+}
+
+/// Scans a trace JSONL file for session headers. `pick` < 0 selects the
+/// first anomalous session; otherwise the pick-th header (0-based).
+bool select_trace_session(const std::string& path, long pick,
+                          TraceSessionRef* out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "could not read trace %s\n", path.c_str());
+    return false;
+  }
+  std::string line;
+  long seen = 0;
+  long anomalies = 0;
+  bool found = false;
+  while (std::getline(in, line)) {
+    if (line.find("\"ev\":\"session\"") == std::string::npos) continue;
+    TraceSessionRef ref;
+    if (!json_u64(line, "seed", &ref.seed) ||
+        !json_u64(line, "day", &ref.day) ||
+        !json_u64(line, "window", &ref.window) ||
+        !json_u64(line, "session", &ref.session) ||
+        !json_str(line, "group", &ref.group)) {
+      std::fprintf(stderr, "malformed session header in %s\n", path.c_str());
+      return false;
+    }
+    ref.anomaly = json_true(line, "anomaly");
+    if (ref.anomaly) ++anomalies;
+    const bool hit = pick >= 0 ? seen == pick : (ref.anomaly && !found);
+    if (hit && !found) {
+      *out = ref;
+      found = true;
+    }
+    ++seen;
+  }
+  if (!found) {
+    std::fprintf(stderr,
+                 "%s: %ld session headers, %ld anomalous; %s\n", path.c_str(),
+                 seen, anomalies,
+                 pick >= 0 ? "--repro-pick out of range"
+                           : "no anomalous session to replay "
+                             "(use --repro-pick N)");
+    return false;
+  }
+  return true;
+}
+
+/// Fig. 4-style chunk timeline: video rate and buffer after every chunk
+/// completion, with OFF waits, rate switches, and stalls interleaved.
+void print_timeline(const sim::SessionResult& session) {
+  std::printf("\n%10s %6s %10s %9s %11s %8s\n", "t_s", "chunk", "rate_kbps",
+              "buffer_s", "tput_kbps", "dl_s");
+  std::size_t ri = 0;
+  const auto& stalls = session.rebuffers;
+  auto stalls_before = [&](double t) {
+    while (ri < stalls.size() && stalls[ri].start_s <= t) {
+      const auto& r = stalls[ri++];
+      std::printf("%10.2f %6zu  -- stall %.2f s --\n", r.start_s,
+                  r.chunk_index, r.duration_s);
+    }
+  };
+  bool has_prev = false;
+  std::size_t prev_rate = 0;
+  for (const auto& c : session.chunks) {
+    if (c.off_wait_s > 0.0) {
+      std::printf("%10.2f %6zu  -- off wait %.2f s --\n",
+                  c.request_s - c.off_wait_s, c.index, c.off_wait_s);
+    }
+    stalls_before(c.finish_s);
+    std::printf("%10.2f %6zu %10.0f %9.2f %11.0f %8.3f%s\n", c.finish_s,
+                c.index, util::to_kbps(c.rate_bps), c.buffer_after_s,
+                util::to_kbps(c.throughput_bps), c.download_s,
+                has_prev && c.rate_index != prev_rate ? "  *switch" : "");
+    prev_rate = c.rate_index;
+    has_prev = true;
+  }
+  stalls_before(std::numeric_limits<double>::infinity());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -72,8 +191,13 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 1;
   bool repro = false;
   unsigned long long repro_day = 0, repro_window = 0, repro_session = 0;
+  std::string repro_trace_path;
+  long repro_pick = -1;
+  bool timeline = false;
+  obs::ObsOptions obs_opts = obs::ObsOptions::from_env();
 
   for (int i = 1; i < argc; ++i) {
+    if (obs_opts.consume_arg(argc, argv, i)) continue;
     const std::string arg = argv[i];
     auto next = [&](const char* flag) -> const char* {
       if (i + 1 >= argc) {
@@ -103,6 +227,12 @@ int main(int argc, char** argv) {
         return 2;
       }
       repro = true;
+    } else if (arg == "--repro-trace") {
+      repro_trace_path = next("--repro-trace");
+    } else if (arg == "--repro-pick") {
+      repro_pick = std::atol(next("--repro-pick"));
+    } else if (arg == "--timeline") {
+      timeline = true;
     } else if (arg == "--log") {
       log_path = next("--log");
     } else {
@@ -111,11 +241,37 @@ int main(int argc, char** argv) {
           "usage: %s [--abr NAME] [--trace FILE] [--video FILE]\n"
           "          [--watch MIN] [--median-kbps K] [--sigma S]\n"
           "          [--seed S] [--repro DAY,WINDOW,SESSION] [--log out.csv]\n"
+          "          [--repro-trace FILE.jsonl] [--repro-pick N] [--timeline]\n"
+          "%s"
           "--repro replays the exact session the A/B harness runs at those\n"
-          "grid coordinates for --seed (default population and library).\n",
-          argv[0]);
+          "grid coordinates for --seed (default population and library).\n"
+          "--repro-trace replays the first anomalous session of a\n"
+          "  bba_abtest --trace-out file (or the Nth header with\n"
+          "  --repro-pick) and prints its Fig. 4-style chunk timeline.\n",
+          argv[0], obs::ObsOptions::usage());
       return arg == "--help" || arg == "-h" ? 0 : 2;
     }
+  }
+
+  if (!repro_trace_path.empty()) {
+    if (repro) {
+      std::fprintf(stderr, "--repro-trace is exclusive with --repro\n");
+      return 2;
+    }
+    TraceSessionRef ref;
+    if (!select_trace_session(repro_trace_path, repro_pick, &ref)) return 1;
+    seed = ref.seed;
+    repro_day = ref.day;
+    repro_window = ref.window;
+    repro_session = ref.session;
+    abr_name = ref.group;
+    repro = true;
+    timeline = true;
+    std::printf("replaying %s session (seed %llu, day %llu, window %llu, "
+                "session %llu, group %s) from %s\n",
+                ref.anomaly ? "anomalous" : "traced",
+                static_cast<unsigned long long>(seed), repro_day, repro_window,
+                repro_session, ref.group.c_str(), repro_trace_path.c_str());
   }
   if (repro && repro_window >= exp::kWindowsPerDay) {
     std::fprintf(stderr, "--repro window must be < %zu\n",
@@ -186,8 +342,36 @@ int main(int argc, char** argv) {
 
   sim::PlayerConfig player;
   player.watch_duration_s = watch_s;
-  const sim::SessionResult session =
-      sim::simulate_session(*video, *trace, *abr, player);
+  obs::ObsScope obs_scope(obs_opts, 1);
+  if (!obs_scope.ok()) return 1;
+
+  sim::SessionResult session;
+  {
+    sim::RecordingSink recorder(&session);
+    obs::TraceCollector* collector =
+        obs_scope.active() && obs_scope.handle()->trace != nullptr &&
+                obs_scope.handle()->trace->ok()
+            ? obs_scope.handle()->trace.get()
+            : nullptr;
+    if (collector != nullptr) {
+      // Trace this session unconditionally (the tool runs exactly one):
+      // `bba_session --repro ... --trace-out one.jsonl` round-trips with
+      // --repro-trace.
+      obs::SessionTraceSink trace_sink;
+      trace_sink.begin(collector->config(), seed, repro_day, repro_window,
+                       repro_session, abr_name, /*sampled=*/true);
+      sim::TeeSink tee(recorder, trace_sink);
+      sim::simulate_session(*video, *trace, *abr, player, tee);
+      std::string lines;
+      if (trace_sink.finish(&lines)) {
+        collector->note_session(trace_sink.anomalous());
+        collector->write(lines);
+        collector->flush();
+      }
+    } else {
+      sim::simulate_session(*video, *trace, *abr, player, recorder);
+    }
+  }
   const sim::SessionMetrics m = sim::compute_metrics(session);
 
   std::printf("abr=%s  trace=%s  video=%s\n", abr->name().c_str(),
@@ -207,6 +391,7 @@ int main(int argc, char** argv) {
   std::printf("switches          %lld (%.1f per playhour)\n",
               m.switch_count, m.switches_per_hour);
   std::printf("QoE (linear)      %.2f\n", sim::qoe_score(m));
+  if (timeline) print_timeline(session);
 
   if (!log_path.empty()) {
     util::CsvWriter log(log_path);

@@ -7,11 +7,18 @@ identifying fields (``mode`` and/or ``threads``). This tool matches rows
 between a baseline file and a candidate file by those identifying fields
 and fails when any matched row regressed by more than the threshold.
 
+A row key present in only one of the two files is an error: it means the
+bench schema changed (a mode was added, removed, or renamed) and the
+committed baseline no longer covers the candidate. Regenerate and commit
+the baseline, or pass --allow-missing to compare the intersection only.
+
 Usage:
     tools/bench_compare.py BASELINE.json CANDIDATE.json [--threshold 0.10]
+    tools/bench_compare.py BASELINE.json CANDIDATE.json --list
 
-Exit status: 0 when no matched row regresses beyond the threshold, 1
-otherwise (or when no rows could be matched).
+Exit status: 0 when every row matched and none regressed beyond the
+threshold, 1 otherwise (regression, unmatched row without --allow-missing,
+or no rows in common).
 """
 
 import argparse
@@ -38,6 +45,10 @@ def load_rows(path):
     return {row_key(r): r for r in rows if "sessions_per_sec" in r}
 
 
+def label_of(key):
+    return ", ".join(f"{k}={v}" for k, v in key)
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline")
@@ -45,11 +56,33 @@ def main():
     parser.add_argument(
         "--threshold", type=float, default=0.10,
         help="maximum tolerated fractional slowdown (default 0.10)")
+    parser.add_argument(
+        "--allow-missing", action="store_true",
+        help="tolerate row keys present in only one file (compare the "
+             "intersection instead of failing)")
+    parser.add_argument(
+        "--list", action="store_true",
+        help="print every compared row key (and each file's unmatched "
+             "keys) without judging regressions")
     args = parser.parse_args()
 
     base = load_rows(args.baseline)
     cand = load_rows(args.candidate)
     matched = sorted(set(base) & set(cand))
+    only_base = sorted(set(base) - set(cand))
+    only_cand = sorted(set(cand) - set(base))
+
+    if args.list:
+        for key in matched:
+            print(f"both: {label_of(key)}")
+        for key in only_base:
+            print(f"baseline only: {label_of(key)}")
+        for key in only_cand:
+            print(f"candidate only: {label_of(key)}")
+        print(f"{len(matched)} matched, {len(only_base)} baseline-only, "
+              f"{len(only_cand)} candidate-only")
+        return 0
+
     if not matched:
         sys.exit("no result rows in common between the two files")
 
@@ -58,23 +91,31 @@ def main():
         before = base[key]["sessions_per_sec"]
         after = cand[key]["sessions_per_sec"]
         delta = (after - before) / before if before > 0 else 0.0
-        label = ", ".join(f"{k}={v}" for k, v in key)
         status = "ok"
         if delta < -args.threshold:
             status = "REGRESSION"
             regressions += 1
-        print(f"{label}: {before:.1f} -> {after:.1f} sessions/sec "
+        print(f"{label_of(key)}: {before:.1f} -> {after:.1f} sessions/sec "
               f"({delta:+.1%}) {status}")
 
-    unmatched = (set(base) | set(cand)) - set(matched)
-    for key in sorted(unmatched):
-        label = ", ".join(f"{k}={v}" for k, v in key)
-        side = "baseline" if key in base else "candidate"
-        print(f"{label}: only in {side}, skipped")
+    unmatched_fatal = 0
+    for key, side in [(k, "baseline") for k in only_base] + \
+                     [(k, "candidate") for k in only_cand]:
+        if args.allow_missing:
+            print(f"{label_of(key)}: only in {side}, skipped "
+                  "(--allow-missing)")
+        else:
+            print(f"{label_of(key)}: only in {side} -- the bench schema "
+                  "changed; regenerate the committed baseline or pass "
+                  "--allow-missing")
+            unmatched_fatal += 1
 
     if regressions:
         print(f"FAIL: {regressions} row(s) regressed more than "
               f"{args.threshold:.0%}")
+        return 1
+    if unmatched_fatal:
+        print(f"FAIL: {unmatched_fatal} row key(s) present in only one file")
         return 1
     print(f"PASS: no row regressed more than {args.threshold:.0%}")
     return 0

@@ -18,6 +18,7 @@
 #include "exp/dump.hpp"
 #include "exp/report.hpp"
 #include "media/video.hpp"
+#include "obs/setup.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -67,8 +68,10 @@ int main(int argc, char** argv) {
   cfg.days = 3;
   cfg.seed = 2014;
   std::string out_path = "REPORT.md";
+  obs::ObsOptions obs_opts = obs::ObsOptions::from_env();
 
   for (int i = 1; i < argc; ++i) {
+    if (obs_opts.consume_arg(argc, argv, i)) continue;
     const std::string arg = argv[i];
     auto next = [&](const char* flag) -> const char* {
       if (i + 1 >= argc) {
@@ -92,9 +95,10 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: %s [--sessions N] [--days N] [--seed S] "
                    "[--threads N] [--out REPORT.md]\n"
+                   "%s"
                    "  --threads 0 (default) uses all hardware threads; "
                    "the report is bit-identical for every thread count\n",
-                   argv[0]);
+                   argv[0], obs::ObsOptions::usage());
       return arg == "--help" || arg == "-h" ? 0 : 2;
     }
   }
@@ -111,6 +115,8 @@ int main(int argc, char** argv) {
                "running 6 groups x %zu sessions/window x %zu days...\n",
                cfg.sessions_per_window, cfg.days);
   const media::VideoLibrary library = media::VideoLibrary::standard(11);
+  obs::ObsScope obs_scope(obs_opts, cfg.threads);
+  if (!obs_scope.ok()) return 1;
   const exp::AbTestResult result = exp::run_ab_test(groups, library, cfg);
 
   Report report;

@@ -1,0 +1,169 @@
+#!/usr/bin/env python3
+"""Validate bba::obs output files (CI smoke checker).
+
+Checks any combination of the three observability artifacts:
+
+  --trace FILE.jsonl    session trace: every line is a JSON object; event
+                        lines follow their session header; per-header chunk
+                        counts match the header's "chunks" field; times are
+                        finite and monotone within a session.
+  --metrics FILE.json   metrics snapshot: one JSON object with a "counters"
+                        map (required keys present, non-negative integers)
+                        and a "histograms" map whose bucket counts sum to
+                        "count".
+  --profile FILE.json   Chrome trace-event JSON: {"traceEvents": [...]},
+                        every event carrying name/ph/ts/dur/pid/tid.
+
+Exit status 0 when every requested file validates, 1 otherwise.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+REQUIRED_COUNTERS = (
+    "sessions",
+    "chunks_downloaded",
+    "rebuffers",
+    "rate_switches",
+)
+
+SESSION_KEYS = ("seed", "day", "window", "session", "group", "sampled",
+                "anomaly", "chunks")
+CHUNK_KEYS = ("k", "rate", "rate_bps", "bits", "req_s", "fin_s", "dl_s",
+              "buf_s")
+
+
+def fail(msg):
+    print(f"FAIL: {msg}")
+    return False
+
+
+def check_trace(path):
+    sessions = 0
+    chunks_in_session = 0
+    declared_chunks = 0
+    last_fin = -math.inf
+    ok = True
+
+    def close_session():
+        nonlocal ok
+        if sessions and chunks_in_session != declared_chunks:
+            ok = fail(f"{path}: session #{sessions} declared "
+                      f"{declared_chunks} chunks, carried "
+                      f"{chunks_in_session}")
+
+    with open(path, "r", encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                ev = json.loads(line)
+            except json.JSONDecodeError as e:
+                return fail(f"{path}:{lineno}: not JSON ({e})")
+            kind = ev.get("ev")
+            if kind == "session":
+                close_session()
+                sessions += 1
+                chunks_in_session = 0
+                declared_chunks = ev.get("chunks", 0)
+                last_fin = -math.inf
+                for key in SESSION_KEYS:
+                    if key not in ev:
+                        return fail(f"{path}:{lineno}: header missing "
+                                    f"'{key}'")
+            elif kind == "chunk":
+                if sessions == 0:
+                    return fail(f"{path}:{lineno}: chunk before any header")
+                chunks_in_session += 1
+                for key in CHUNK_KEYS:
+                    if key not in ev:
+                        return fail(f"{path}:{lineno}: chunk missing "
+                                    f"'{key}'")
+                if not math.isfinite(ev["fin_s"]) or ev["fin_s"] < last_fin:
+                    return fail(f"{path}:{lineno}: chunk fin_s not "
+                                "finite/monotone")
+                last_fin = ev["fin_s"]
+            elif kind in ("stall", "off", "switch"):
+                if sessions == 0:
+                    return fail(f"{path}:{lineno}: {kind} before any header")
+            else:
+                return fail(f"{path}:{lineno}: unknown ev {kind!r}")
+    close_session()
+    if sessions == 0:
+        return fail(f"{path}: no session headers")
+    if ok:
+        print(f"ok: {path} ({sessions} sessions)")
+    return ok
+
+
+def check_metrics(path):
+    with open(path, "r", encoding="utf-8") as f:
+        try:
+            doc = json.load(f)
+        except json.JSONDecodeError as e:
+            return fail(f"{path}: not JSON ({e})")
+    counters = doc.get("counters")
+    if not isinstance(counters, dict):
+        return fail(f"{path}: no 'counters' object")
+    for key in REQUIRED_COUNTERS:
+        if key not in counters:
+            return fail(f"{path}: counters missing '{key}'")
+    for key, value in counters.items():
+        if not isinstance(value, int) or value < 0:
+            return fail(f"{path}: counter '{key}' not a non-negative int")
+    hists = doc.get("histograms")
+    if not isinstance(hists, dict):
+        return fail(f"{path}: no 'histograms' object")
+    for name, h in hists.items():
+        total = sum(count for _, count in h.get("buckets", []))
+        if total != h.get("count"):
+            return fail(f"{path}: histogram '{name}' buckets sum to "
+                        f"{total}, count says {h.get('count')}")
+    print(f"ok: {path} ({counters['sessions']} sessions, "
+          f"{len(hists)} histograms)")
+    return True
+
+
+def check_profile(path):
+    with open(path, "r", encoding="utf-8") as f:
+        try:
+            doc = json.load(f)
+        except json.JSONDecodeError as e:
+            return fail(f"{path}: not JSON ({e})")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return fail(f"{path}: no 'traceEvents' array")
+    for i, ev in enumerate(events):
+        for key in ("name", "ph", "ts", "dur", "pid", "tid"):
+            if key not in ev:
+                return fail(f"{path}: event {i} missing '{key}'")
+        if ev["ph"] != "X" or ev["dur"] < 0:
+            return fail(f"{path}: event {i} not a complete span")
+    print(f"ok: {path} ({len(events)} spans)")
+    return True
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--trace")
+    parser.add_argument("--metrics")
+    parser.add_argument("--profile")
+    args = parser.parse_args()
+    if not (args.trace or args.metrics or args.profile):
+        parser.error("nothing to check: pass --trace/--metrics/--profile")
+
+    ok = True
+    if args.trace:
+        ok = check_trace(args.trace) and ok
+    if args.metrics:
+        ok = check_metrics(args.metrics) and ok
+    if args.profile:
+        ok = check_profile(args.profile) and ok
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
