@@ -29,6 +29,7 @@ void accumulate(WindowMetrics& cell, const sim::SessionMetrics& m) {
   cell.play_hours += hours;
   cell.rebuffer_count += static_cast<double>(m.rebuffer_count);
   cell.rebuffer_s += m.rebuffer_s;
+  cell.fault_stall_count += static_cast<double>(m.fault_stall_count);
   cell.switch_count += static_cast<double>(m.switch_count);
   cell.sessions += 1;
   if (cell.play_hours > 0.0) {
@@ -89,6 +90,7 @@ WindowMetrics AbTestResult::merged(std::size_t group,
     out.play_hours = total;
     out.rebuffer_count += c.rebuffer_count;
     out.rebuffer_s += c.rebuffer_s;
+    out.fault_stall_count += c.fault_stall_count;
     out.switch_count += c.switch_count;
     out.sessions += c.sessions;
   }
@@ -160,6 +162,7 @@ AbTestResult run_ab_test(const std::vector<Group>& groups,
   // the determinism contract holds.
   struct SessionScratch {
     net::TraceScratch trace_scratch;
+    net::FaultScratch fault_scratch;
     net::CapacityTrace trace = net::CapacityTrace::constant(1.0);
     sim::StreamingMetricsSink sink;
     obs::SessionTraceSink trace_sink;
@@ -192,11 +195,17 @@ AbTestResult run_ab_test(const std::vector<Group>& groups,
         const UserEnvironment env = population.environment_for(key);
         SessionScratch& s = scratch[slot];
         population.trace_for_into(env, key, s.trace_scratch, s.trace);
+        // Fault injection rides the dedicated kFaults substream: with an
+        // empty plan this is a no-op and nothing downstream changes byte
+        // for byte.
+        const bool faulted = population.has_faults();
+        if (faulted) population.inject_faults(key, s.fault_scratch, s.trace);
         const SessionSpec spec = session_for(library, cfg.workload, key);
         const media::Video& video = library.at(spec.video_index);
 
         sim::PlayerConfig player = cfg.player;
         player.watch_duration_s = spec.watch_duration_s;
+        if (faulted) player.faults = &s.fault_scratch.events;
 
         // One sampling decision per task, shared by every group: the
         // control and treatment timelines of a sampled session land
@@ -241,6 +250,11 @@ AbTestResult run_ab_test(const std::vector<Group>& groups,
             obs::SlotBinding mute(replay ? nullptr : registry, slot);
             s.trace_sink.begin(tracer->config(), cfg.seed, day, window, user,
                                groups[g].name, traced);
+            if (faulted) {
+              s.trace_sink.set_faults(&s.fault_scratch.events,
+                                      s.trace.cycle_duration_s(),
+                                      s.trace.loops());
+            }
             sim::TeeSink tee(s.sink, s.trace_sink);
             sim::simulate_session(video, s.trace, *algorithm, player, tee);
             TaskTrace& tt = task_trace[task];

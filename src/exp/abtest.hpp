@@ -58,6 +58,10 @@ struct WindowMetrics {
   /// shared play-hours weight).
   double steady_play_hours = 0.0;
 
+  /// Stalls attributed to an injected fault window (fault injection only;
+  /// 0 whenever PopulationConfig::faults is empty).
+  double fault_stall_count = 0.0;
+
   double rebuffers_per_hour() const {
     return play_hours > 0.0 ? rebuffer_count / play_hours : 0.0;
   }

@@ -109,4 +109,15 @@ void Population::trace_for_into(const UserEnvironment& env,
   make_trace_into(env, rng, scratch, out);
 }
 
+void Population::inject_faults(const SessionKey& key,
+                               net::FaultScratch& scratch,
+                               net::CapacityTrace& trace) const {
+  scratch.events.clear();
+  if (cfg_.faults.empty()) return;
+  util::Rng rng = session_rng(key, StreamClass::kFaults);
+  net::apply_fault_plan(trace.segments(), cfg_.faults, rng, scratch,
+                        scratch.result, &scratch.events);
+  trace.assign(scratch.result, trace.loops());
+}
+
 }  // namespace bba::exp

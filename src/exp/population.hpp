@@ -15,6 +15,7 @@
 
 #include "exp/session_key.hpp"
 #include "net/capacity_trace.hpp"
+#include "net/fault_inject.hpp"
 #include "net/trace_gen.hpp"
 #include "util/rng.hpp"
 
@@ -92,6 +93,13 @@ struct PopulationConfig {
   /// Fraction of sessions that experience temporary outages (Sec. 7.1).
   double outage_session_fraction = 0.15;
 
+  /// Additional fault passes applied to EVERY session's trace on top of
+  /// the baseline outage process above (--faults / BBA_FAULTS). Driven by
+  /// a dedicated StreamClass::kFaults substream, so an empty plan (the
+  /// default) leaves every trace -- and every experiment output --
+  /// byte-identical to a build without fault injection.
+  net::FaultPlan faults;
+
   /// Markov level dwell time (mean seconds at one capacity level).
   double mean_dwell_s = 10.0;
 
@@ -142,6 +150,19 @@ class Population {
   void trace_for_into(const UserEnvironment& env, const SessionKey& key,
                       net::TraceScratch& scratch,
                       net::CapacityTrace& out) const;
+
+  /// True when the config carries a non-empty fault plan.
+  bool has_faults() const { return !cfg_.faults.empty(); }
+
+  /// Applies config().faults to `trace` in place, filling
+  /// `scratch.events` with the injected faults (cleared first). The fault
+  /// randomness is the session's StreamClass::kFaults substream -- a pure
+  /// function of the key, independent of every other phase. No-op (and no
+  /// substream derivation) when the plan is empty. Call after trace_for /
+  /// trace_for_into; the harness and bba_session --repro both do, so a
+  /// replayed session sees the exact faults of the original run.
+  void inject_faults(const SessionKey& key, net::FaultScratch& scratch,
+                     net::CapacityTrace& trace) const;
 
  private:
   PopulationConfig cfg_;

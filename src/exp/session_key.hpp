@@ -29,6 +29,11 @@ enum class StreamClass : std::uint64_t {
   kEnvironment = 1,  ///< tier, base capacity, congestion state
   kTrace = 2,        ///< Markov capacity trace + outages
   kWorkload = 3,     ///< title choice and watch duration
+  /// Fault-plan injection (net::FaultPlan): a dedicated stream so enabling
+  /// or reshaping a fault plan never perturbs the environment, trace, or
+  /// workload draws of any session -- and so the injected faults are a
+  /// pure function of the key, bit-identical at any thread count.
+  kFaults = 4,
   /// Observability: the 1-in-N session-trace sampling decision
   /// (obs::TraceCollector). Deliberately far from the simulation classes
   /// so future phases can take 4, 5, ... without colliding; consuming this

@@ -1,5 +1,7 @@
 #include "net/estimators.hpp"
 
+#include <algorithm>
+
 #include "util/assert.hpp"
 
 namespace bba::net {
@@ -68,8 +70,12 @@ double HarmonicMeanEstimator::estimate_bps() const {
   BBA_ASSERT(!samples_.empty(), "estimate_bps() before any sample");
   double sum_inv = 0.0;
   for (std::size_t i = 0; i < samples_.size(); ++i) {
-    const double s = samples_.at(i);
-    if (s <= 0.0) return 0.0;  // an outage sample pins the harmonic mean
+    // An outage chunk reports ~0 throughput; treating it as exactly zero
+    // would pin the estimate at 0 forever (1/0 = inf), so zero samples
+    // enter the mean floored at kMinHarmonicSampleBps. The estimate then
+    // collapses toward the floor while outage samples are in the window
+    // and recovers as they age out. Positive samples are untouched.
+    const double s = std::max(samples_.at(i), kMinHarmonicSampleBps);
     sum_inv += 1.0 / s;
   }
   return static_cast<double>(samples_.size()) / sum_inv;

@@ -114,6 +114,13 @@ class EwmaEstimator final : public ThroughputEstimator {
   bool has_ = false;
 };
 
+/// Samples at or below this floor (notably the exact-zero throughput of an
+/// outage chunk) contribute 1/kMinHarmonicSampleBps to the harmonic mean
+/// instead of diverging it: the estimate degrades toward the floor during
+/// an outage and RECOVERS once the outage samples age out of the window,
+/// rather than pinning at zero for the rest of the session.
+inline constexpr double kMinHarmonicSampleBps = 1.0;
+
 /// Harmonic mean of the last `window` samples -- robust to upward outliers
 /// (the estimator used by FESTIVE and similar systems).
 class HarmonicMeanEstimator final : public ThroughputEstimator {

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "net/fault_inject.hpp"
 #include "stats/descriptive.hpp"
 #include "util/assert.hpp"
 
@@ -55,33 +56,15 @@ CapacityTrace make_markov_trace(const MarkovTraceConfig& cfg,
 void insert_outages(const std::vector<CapacityTrace::Segment>& base_segments,
                     const OutageConfig& cfg, util::Rng& rng,
                     std::vector<CapacityTrace::Segment>& segments) {
-  BBA_ASSERT(cfg.mean_interval_s > 0.0, "mean outage interval must be > 0");
-  BBA_ASSERT(cfg.min_outage_s > 0.0 && cfg.max_outage_s >= cfg.min_outage_s,
-             "outage duration range invalid");
-  segments.clear();
-  double next_outage = rng.exponential(cfg.mean_interval_s);
-  double t = 0.0;
-  for (const auto& seg : base_segments) {
-    double seg_remaining = seg.duration_s;
-    while (seg_remaining > 0.0) {
-      if (t + seg_remaining <= next_outage) {
-        segments.push_back({seg_remaining, seg.rate_bps});
-        t += seg_remaining;
-        seg_remaining = 0.0;
-      } else {
-        const double before = next_outage - t;
-        if (before > 1e-9) {
-          segments.push_back({before, seg.rate_bps});
-        }
-        const double outage =
-            rng.uniform(cfg.min_outage_s, cfg.max_outage_s);
-        segments.push_back({outage, 0.0});
-        t = next_outage + outage;
-        seg_remaining -= before;
-        next_outage = t + rng.exponential(cfg.mean_interval_s);
-      }
-    }
-  }
+  // Delegates to the generalized fault layer's outage pass: identical RNG
+  // consumption and segment sequence, minus the historical zero-duration
+  // boundary segments (fault_inject.cpp, kMinSegmentS).
+  FaultSpec spec;
+  spec.kind = FaultKind::kOutage;
+  spec.mean_interval_s = cfg.mean_interval_s;
+  spec.min_duration_s = cfg.min_outage_s;
+  spec.max_duration_s = cfg.max_outage_s;
+  apply_fault_spec(base_segments, spec, rng, segments);
 }
 
 CapacityTrace with_outages(const CapacityTrace& base, const OutageConfig& cfg,

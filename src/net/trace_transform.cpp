@@ -26,6 +26,10 @@ CapacityTrace clamp_rate(const CapacityTrace& trace, double floor_bps,
              "invalid clamp range");
   std::vector<CapacityTrace::Segment> segments = trace.segments();
   for (auto& seg : segments) {
+    // An exact-zero rate models a full outage (capacity_trace.hpp): a
+    // positive floor must not resurrect it into a healthy link, so outage
+    // segments pass through unclamped.
+    if (seg.rate_bps == 0.0) continue;
     seg.rate_bps = std::clamp(seg.rate_bps, floor_bps, ceil_bps);
   }
   return CapacityTrace(std::move(segments), trace.loops());

@@ -17,7 +17,10 @@ CapacityTrace scale_rate(const CapacityTrace& trace, double factor);
 /// speeds up the *dynamics* without changing the rate distribution.
 CapacityTrace scale_time(const CapacityTrace& trace, double factor);
 
-/// Clamps every segment's rate into [floor_bps, ceil_bps].
+/// Clamps every segment's rate into [floor_bps, ceil_bps]. Exact-zero
+/// segments are outages, not slow links: they are preserved as-is even
+/// when floor_bps > 0, so a "what if the link never dropped below X"
+/// experiment does not silently erase the outages from the trace.
 CapacityTrace clamp_rate(const CapacityTrace& trace, double floor_bps,
                          double ceil_bps);
 

@@ -153,6 +153,17 @@ void SessionTraceSink::begin(const TraceConfig& cfg, std::uint64_t seed,
   rebuffers_.clear();
   summary_ = sim::SessionSummary{};
   rebuffer_total_s_ = 0.0;
+  faults_ = nullptr;
+  fault_cycle_s_ = 0.0;
+  fault_loops_ = false;
+}
+
+void SessionTraceSink::set_faults(
+    const std::vector<net::InjectedFault>* faults, double trace_cycle_s,
+    bool trace_loops) {
+  faults_ = faults;
+  fault_cycle_s_ = trace_cycle_s;
+  fault_loops_ = trace_loops;
 }
 
 void SessionTraceSink::on_session_start(double chunk_duration_s) {
@@ -195,12 +206,41 @@ bool SessionTraceSink::finish(std::string* out) const {
              "\",\"sampled\":%s,\"anomaly\":%s,\"v_s\":%.10g,"
              "\"started\":%s,\"abandoned\":%s,\"join_s\":%.10g,"
              "\"played_s\":%.10g,\"wall_s\":%.10g,\"rebuffer_count\":%zu,"
-             "\"rebuffer_s\":%.10g,\"chunks\":%zu}\n",
+             "\"rebuffer_s\":%.10g,\"chunks\":%zu",
              sampled_ ? "true" : "false", anomalous_ ? "true" : "false",
              summary_.chunk_duration_s, summary_.started ? "true" : "false",
              summary_.abandoned ? "true" : "false", summary_.join_s,
              summary_.played_s, summary_.wall_s, rebuffers_.size(),
              rebuffer_total_s_, chunks_.size());
+  if (faults_ != nullptr) {
+    // Fault-injected sessions declare their fault count and trace geometry
+    // (the cycle/loop pair the overlap attribution used) in the header;
+    // fault-free runs never reach this branch, keeping their bytes
+    // unchanged.
+    o += ",\"faults\":";
+    append_u64(o, faults_->size());
+    o += ",\"trace_cycle_s\":";
+    append_num(o, fault_cycle_s_);
+    o += ",\"trace_loops\":";
+    o += fault_loops_ ? "true" : "false";
+  }
+  o += "}\n";
+
+  if (faults_ != nullptr) {
+    // The injected faults, in first-cycle trace time, directly after the
+    // header so a reader sees the fault overlay before the chunk timeline.
+    for (const net::InjectedFault& f : *faults_) {
+      o += "{\"ev\":\"fault\",\"kind\":\"";
+      o += net::fault_kind_name(f.kind);
+      o += "\",\"start_s\":";
+      append_num(o, f.start_s);
+      o += ",\"dur_s\":";
+      append_num(o, f.duration_s);
+      o += ",\"factor\":";
+      append_num(o, f.factor);
+      o += "}\n";
+    }
+  }
 
   // Chronological merge of the chunk-derived lines (OFF wait, rate switch,
   // chunk completion -- times monotone across chunks) with the stall lines
@@ -216,6 +256,10 @@ bool SessionTraceSink::finish(std::string* out) const {
       append_num(o, r.start_s);
       o += ",\"dur_s\":";
       append_num(o, r.duration_s);
+      if (faults_ != nullptr) {
+        o += ",\"fault\":";
+        o += r.during_fault ? "true" : "false";
+      }
       o += "}\n";
     }
   };

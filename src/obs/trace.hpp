@@ -33,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "net/fault_inject.hpp"
 #include "sim/session_sink.hpp"
 
 namespace bba::obs {
@@ -121,6 +122,16 @@ class SessionTraceSink final : public sim::SessionSink {
              std::uint64_t window, std::uint64_t session,
              std::string_view group, bool sampled);
 
+  /// Attaches the session's injected faults (borrowed; must stay alive
+  /// through finish()). Call after begin() -- begin() detaches. When
+  /// attached, the header carries the fault count and trace cycle, each
+  /// fault serializes as a `fault` event line right after the header, and
+  /// stall lines gain a `"fault"` attribution flag. Never attached (the
+  /// faults-disabled path), the serialized bytes are identical to a build
+  /// without fault injection.
+  void set_faults(const std::vector<net::InjectedFault>* faults,
+                  double trace_cycle_s, bool trace_loops);
+
   // sim::SessionSink
   void on_session_start(double chunk_duration_s) override;
   void on_chunk(const sim::ChunkRecord& chunk, double played_s) override;
@@ -153,6 +164,10 @@ class SessionTraceSink final : public sim::SessionSink {
   sim::SessionSummary summary_;
   double rebuffer_total_s_ = 0.0;
   bool ended_ = false;
+
+  const std::vector<net::InjectedFault>* faults_ = nullptr;
+  double fault_cycle_s_ = 0.0;
+  bool fault_loops_ = false;
 };
 
 }  // namespace bba::obs

@@ -15,7 +15,10 @@ SessionMetrics compute_metrics(const SessionResult& result,
   m.join_s = result.join_s;
   m.abandoned = result.abandoned;
   m.rebuffer_count = static_cast<long long>(result.rebuffers.size());
-  for (const auto& rb : result.rebuffers) m.rebuffer_s += rb.duration_s;
+  for (const auto& rb : result.rebuffers) {
+    m.rebuffer_s += rb.duration_s;
+    if (rb.during_fault) ++m.fault_stall_count;
+  }
 
   const double play_hours = util::to_hours(result.played_s);
   if (play_hours > 0.0) {

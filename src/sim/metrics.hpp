@@ -15,6 +15,10 @@ struct SessionMetrics {
   long long rebuffer_count = 0;   ///< number of stalls
   double rebuffer_s = 0.0;        ///< total stall time
   double rebuffers_per_hour = 0.0;
+  /// Stalls whose interval overlapped an injected fault window
+  /// (RebufferEvent::during_fault); 0 when the session ran without fault
+  /// injection.
+  long long fault_stall_count = 0;
 
   double avg_rate_bps = 0.0;      ///< delivered rate over all played video
   double startup_rate_bps = 0.0;  ///< delivered rate over video [0, 2 min)

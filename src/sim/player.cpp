@@ -60,11 +60,21 @@ void simulate_session(const media::Video& video,
       config.tcp ? std::optional<net::TcpDownloadModel>(*config.tcp)
                  : std::nullopt;
 
+  // Attribution: did the stall interval overlap an injected fault window?
+  // Only evaluated when faults are attached, so fault-free sessions pay
+  // nothing.
+  auto stall_during_fault = [&](double t0, double t1) {
+    return config.faults != nullptr &&
+           net::fault_overlaps(*config.faults, trace.cycle_duration_s(),
+                               trace.loops(), t0, t1);
+  };
+
   auto close_stall = [&](double resume_t) {
     if (stall_start >= 0.0) {
       obs::count(obs::Counter::kRebuffers);
       obs::observe(obs::Hist::kStallSeconds, resume_t - stall_start);
-      sink.on_rebuffer({stall_start, resume_t - stall_start, stall_chunk});
+      sink.on_rebuffer({stall_start, resume_t - stall_start, stall_chunk,
+                        stall_during_fault(stall_start, resume_t)});
       stall_start = -1.0;
     }
   };
@@ -154,7 +164,10 @@ void simulate_session(const media::Video& video,
           // mid-stall (engagement studies tie long rebuffers to abandons).
           obs::count(obs::Counter::kRebuffers);
           obs::observe(obs::Hist::kStallSeconds, config.give_up_stall_s);
-          sink.on_rebuffer({stall_start, config.give_up_stall_s, k});
+          sink.on_rebuffer(
+              {stall_start, config.give_up_stall_s, k,
+               stall_during_fault(stall_start,
+                                  stall_start + config.give_up_stall_s)});
           sum.abandoned = true;
           sum.played_s = played;
           sum.wall_s = stall_start + config.give_up_stall_s;

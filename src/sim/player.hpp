@@ -15,6 +15,7 @@
 #include "abr/abr.hpp"
 #include "media/video.hpp"
 #include "net/capacity_trace.hpp"
+#include "net/fault_inject.hpp"
 #include "net/tcp_model.hpp"
 #include "sim/session_result.hpp"
 #include "sim/session_sink.hpp"
@@ -69,6 +70,13 @@ struct PlayerConfig {
   /// is exact, so results are identical either way; the flag exists so
   /// benchmarks can measure the before/after cost.
   bool use_trace_cursor = true;
+
+  /// Faults injected into the session's trace (borrowed; must outlive the
+  /// simulation). When set, each RebufferEvent is attributed: its
+  /// `during_fault` flag records whether the stall interval overlapped any
+  /// fault window (cycle-aware for looping traces). Null -- the default --
+  /// leaves every flag false and changes nothing else.
+  const std::vector<net::InjectedFault>* faults = nullptr;
 };
 
 /// Runs one session of `video` over `trace` with `abr` choosing rates,

@@ -31,6 +31,10 @@ struct RebufferEvent {
   double start_s = 0.0;      ///< wall time the buffer ran dry
   double duration_s = 0.0;   ///< stall length
   std::size_t chunk_index = 0;  ///< chunk in flight when the stall began
+  /// The stall interval overlaps an injected fault window
+  /// (net::fault_overlaps via PlayerConfig::faults); always false when the
+  /// session ran without fault injection.
+  bool during_fault = false;
 };
 
 /// Complete record of one simulated viewing session.

@@ -56,6 +56,7 @@ void StreamingMetricsSink::on_session_start(double chunk_duration_s) {
   has_prev_rate_ = false;
   rebuffer_count_ = 0;
   rebuffer_s_ = 0.0;
+  fault_stall_count_ = 0;
   metrics_ = SessionMetrics{};
 }
 
@@ -121,6 +122,7 @@ void StreamingMetricsSink::on_chunk(const ChunkRecord& chunk,
 void StreamingMetricsSink::on_rebuffer(const RebufferEvent& event) {
   ++rebuffer_count_;
   rebuffer_s_ += event.duration_s;
+  if (event.during_fault) ++fault_stall_count_;
 }
 
 void StreamingMetricsSink::on_session_end(const SessionSummary& summary) {
@@ -130,6 +132,7 @@ void StreamingMetricsSink::on_session_end(const SessionSummary& summary) {
   m.abandoned = summary.abandoned;
   m.rebuffer_count = rebuffer_count_;
   m.rebuffer_s = rebuffer_s_;
+  m.fault_stall_count = fault_stall_count_;
 
   const double play_hours = util::to_hours(summary.played_s);
   if (play_hours > 0.0) {

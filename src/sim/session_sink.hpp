@@ -152,6 +152,7 @@ class StreamingMetricsSink final : public SessionSink {
   bool has_prev_rate_ = false;
   long long rebuffer_count_ = 0;
   double rebuffer_s_ = 0.0;
+  long long fault_stall_count_ = 0;
 
   SessionMetrics metrics_;
 };

@@ -283,11 +283,32 @@ TEST(Estimators, HarmonicMeanPenalizesOutliers) {
   EXPECT_NEAR(h.estimate_bps(), 3.0 / (0.01 + 0.01 + 0.0001), 1e-9);
 }
 
-TEST(Estimators, HarmonicMeanZeroSamplePins) {
+TEST(Estimators, HarmonicMeanZeroSampleDegradesButStaysPositive) {
+  // Regression: estimate_bps() used to return exactly 0.0 as soon as any
+  // outage (zero-throughput) sample was in the window, which downstream
+  // rate maps treat as a permanently dead link.
   HarmonicMeanEstimator h(3);
   h.add_sample(100.0, 1.0);
   h.add_sample(0.0, 1.0);
-  EXPECT_DOUBLE_EQ(h.estimate_bps(), 0.0);
+  EXPECT_GT(h.estimate_bps(), 0.0);
+  // The zero sample enters as the documented floor.
+  EXPECT_DOUBLE_EQ(h.estimate_bps(),
+                   2.0 / (1.0 / 100.0 + 1.0 / kMinHarmonicSampleBps));
+}
+
+TEST(Estimators, HarmonicMeanRecoversAfterOutageSamplesAgeOut) {
+  // Regression: a session observing one outage chunk must regain a healthy
+  // rate estimate once the outage sample leaves the sliding window.
+  HarmonicMeanEstimator h(3);
+  h.add_sample(100.0, 1.0);
+  h.add_sample(0.0, 1.0);  // the outage chunk
+  const double during = h.estimate_bps();
+  EXPECT_LT(during, 10.0);  // collapsed toward the floor...
+  EXPECT_GT(during, 0.0);   // ...but never to exactly zero
+  h.add_sample(100.0, 1.0);
+  h.add_sample(100.0, 1.0);
+  h.add_sample(100.0, 1.0);  // window is now all post-outage samples
+  EXPECT_DOUBLE_EQ(h.estimate_bps(), 100.0);
 }
 
 TEST(Estimators, NamesAreStable) {

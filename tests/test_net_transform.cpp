@@ -34,6 +34,23 @@ TEST(Transform, ClampRate) {
   EXPECT_DOUBLE_EQ(t.rate_at_bps(0.0), 100.0);  // in range: unchanged
 }
 
+// Regression: clamping with a positive floor used to erase outages -- a
+// zero-rate segment was lifted to floor_bps, turning a dead link into a
+// slow one. Exact zeros are outages and must survive the clamp.
+TEST(Transform, ClampRatePreservesExactZeroOutages) {
+  const CapacityTrace with_outage(
+      {{10.0, 100.0}, {20.0, 0.0}, {10.0, 400.0}});
+  const CapacityTrace t = clamp_rate(with_outage, 80.0, 300.0);
+  EXPECT_DOUBLE_EQ(t.rate_at_bps(15.0), 0.0);  // outage untouched
+  EXPECT_DOUBLE_EQ(t.rate_at_bps(0.0), 100.0);
+  EXPECT_DOUBLE_EQ(t.rate_at_bps(35.0), 300.0);  // clamp still applies
+  // The outage window delivers no bits at all.
+  EXPECT_DOUBLE_EQ(t.bits_between(10.0, 30.0), 0.0);
+  // Near-zero (but nonzero) rates are genuine slow links: still clamped.
+  const CapacityTrace slow({{10.0, 1e-6}});
+  EXPECT_DOUBLE_EQ(clamp_rate(slow, 80.0, 300.0).rate_at_bps(5.0), 80.0);
+}
+
 TEST(Transform, SkipStartWithinFirstSegment) {
   const CapacityTrace t = skip_start(base(), 4.0);
   EXPECT_DOUBLE_EQ(t.cycle_duration_s(), 16.0);

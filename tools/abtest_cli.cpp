@@ -28,6 +28,7 @@
 #include "exp/report.hpp"
 #include "media/video.hpp"
 #include "net/estimators.hpp"
+#include "net/fault_inject.hpp"
 #include "obs/setup.hpp"
 
 namespace {
@@ -82,6 +83,10 @@ void usage(const char* argv0) {
       "                          bit-identical for every thread count)\n"
       "          [--metric rebuffers|rate|steady|startup|switches]\n"
       "          [--baseline GROUP] [--csv PREFIX]\n"
+      "          [--faults SPEC]  (fault plan for every session's trace,\n"
+      "                          e.g. 'outage:every=300,dur=20..35;spike:\n"
+      "                          every=240,depth=0.1..0.3'; docs/faults.md.\n"
+      "                          Default: $BBA_FAULTS, else off)\n"
       "%s"
       "groups: control throughput pid elastic bola rmin-always bba0 bba1 "
       "bba2 bba-others\n",
@@ -97,6 +102,8 @@ int main(int argc, char** argv) {
   std::string metric_name = "rebuffers";
   std::string baseline = "control";
   std::string csv_prefix;
+  std::string faults_spec;
+  if (const char* env = std::getenv("BBA_FAULTS")) faults_spec = env;
   obs::ObsOptions obs_opts = obs::ObsOptions::from_env();
 
   for (int i = 1; i < argc; ++i) {
@@ -126,6 +133,8 @@ int main(int argc, char** argv) {
       baseline = next("--baseline");
     } else if (arg == "--csv") {
       csv_prefix = next("--csv");
+    } else if (arg == "--faults") {
+      faults_spec = next("--faults");
     } else {
       usage(argv[0]);
       return arg == "--help" || arg == "-h" ? 0 : 2;
@@ -133,6 +142,12 @@ int main(int argc, char** argv) {
   }
   if (cfg.sessions_per_window == 0 || cfg.days == 0 || group_names.empty()) {
     usage(argv[0]);
+    return 2;
+  }
+  std::string faults_error;
+  if (!net::parse_fault_plan(faults_spec, &cfg.population.faults,
+                             &faults_error)) {
+    std::fprintf(stderr, "--faults: %s\n", faults_error.c_str());
     return 2;
   }
 

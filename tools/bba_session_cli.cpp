@@ -41,6 +41,7 @@
 #include "exp/workload.hpp"
 #include "media/table_io.hpp"
 #include "media/video.hpp"
+#include "net/fault_inject.hpp"
 #include "net/trace_gen.hpp"
 #include "net/trace_io.hpp"
 #include "obs/setup.hpp"
@@ -156,8 +157,9 @@ void print_timeline(const sim::SessionResult& session) {
   auto stalls_before = [&](double t) {
     while (ri < stalls.size() && stalls[ri].start_s <= t) {
       const auto& r = stalls[ri++];
-      std::printf("%10.2f %6zu  -- stall %.2f s --\n", r.start_s,
-                  r.chunk_index, r.duration_s);
+      std::printf("%10.2f %6zu  -- stall %.2f s --%s\n", r.start_s,
+                  r.chunk_index, r.duration_s,
+                  r.during_fault ? "  [fault]" : "");
     }
   };
   bool has_prev = false;
@@ -194,6 +196,8 @@ int main(int argc, char** argv) {
   std::string repro_trace_path;
   long repro_pick = -1;
   bool timeline = false;
+  std::string faults_spec;
+  if (const char* env = std::getenv("BBA_FAULTS")) faults_spec = env;
   obs::ObsOptions obs_opts = obs::ObsOptions::from_env();
 
   for (int i = 1; i < argc; ++i) {
@@ -235,6 +239,8 @@ int main(int argc, char** argv) {
       timeline = true;
     } else if (arg == "--log") {
       log_path = next("--log");
+    } else if (arg == "--faults") {
+      faults_spec = next("--faults");
     } else {
       std::fprintf(
           stderr,
@@ -242,14 +248,27 @@ int main(int argc, char** argv) {
           "          [--watch MIN] [--median-kbps K] [--sigma S]\n"
           "          [--seed S] [--repro DAY,WINDOW,SESSION] [--log out.csv]\n"
           "          [--repro-trace FILE.jsonl] [--repro-pick N] [--timeline]\n"
+          "          [--faults SPEC]\n"
           "%s"
           "--repro replays the exact session the A/B harness runs at those\n"
           "grid coordinates for --seed (default population and library).\n"
           "--repro-trace replays the first anomalous session of a\n"
           "  bba_abtest --trace-out file (or the Nth header with\n"
-          "  --repro-pick) and prints its Fig. 4-style chunk timeline.\n",
+          "  --repro-pick) and prints its Fig. 4-style chunk timeline.\n"
+          "--faults injects a fault plan into the session trace\n"
+          "  (docs/faults.md; default $BBA_FAULTS, else off). To replay a\n"
+          "  session from a fault-injected harness run, pass the run's\n"
+          "  --faults spec so the trace reconstructs bit-exact.\n",
           argv[0], obs::ObsOptions::usage());
       return arg == "--help" || arg == "-h" ? 0 : 2;
+    }
+  }
+  net::FaultPlan faults_plan;
+  {
+    std::string faults_error;
+    if (!net::parse_fault_plan(faults_spec, &faults_plan, &faults_error)) {
+      std::fprintf(stderr, "--faults: %s\n", faults_error.c_str());
+      return 2;
     }
   }
 
@@ -288,6 +307,7 @@ int main(int argc, char** argv) {
   util::Rng rng(seed);
   std::optional<net::CapacityTrace> trace;
   std::optional<media::Video> video;
+  net::FaultScratch fault_scratch;
   double watch_s = watch_min * 60.0;
   std::string source_label;
 
@@ -299,9 +319,12 @@ int main(int argc, char** argv) {
     // Re-derive the session exactly as exp::run_ab_test does: every stream
     // is a pure function of (seed, day, window, session).
     const exp::SessionKey key{seed, repro_day, repro_window, repro_session};
-    const exp::Population population;
+    exp::PopulationConfig pop_cfg;
+    pop_cfg.faults = faults_plan;
+    const exp::Population population(std::move(pop_cfg));
     const exp::UserEnvironment env = population.environment_for(key);
     trace = population.trace_for(env, key);
+    population.inject_faults(key, fault_scratch, *trace);
     const media::VideoLibrary library = media::VideoLibrary::standard(11);
     const exp::SessionSpec spec =
         exp::session_for(library, exp::WorkloadConfig{}, key);
@@ -324,6 +347,17 @@ int main(int argc, char** argv) {
       cfg.sigma_log = sigma;
       trace = net::make_markov_trace(cfg, rng);
     }
+    if (!faults_plan.empty()) {
+      // Same substream the harness uses; coordinates (0, 0, 0) outside
+      // --repro, so standalone runs are still deterministic in --seed.
+      util::Rng fault_rng = exp::session_rng(
+          exp::SessionKey{seed, repro_day, repro_window, repro_session},
+          exp::StreamClass::kFaults);
+      net::apply_fault_plan(trace->segments(), faults_plan, fault_rng,
+                            fault_scratch, fault_scratch.result,
+                            &fault_scratch.events);
+      trace->assign(fault_scratch.result, trace->loops());
+    }
   }
 
   if (!video) {
@@ -342,6 +376,7 @@ int main(int argc, char** argv) {
 
   sim::PlayerConfig player;
   player.watch_duration_s = watch_s;
+  if (!faults_plan.empty()) player.faults = &fault_scratch.events;
   obs::ObsScope obs_scope(obs_opts, 1);
   if (!obs_scope.ok()) return 1;
 
@@ -360,6 +395,10 @@ int main(int argc, char** argv) {
       obs::SessionTraceSink trace_sink;
       trace_sink.begin(collector->config(), seed, repro_day, repro_window,
                        repro_session, abr_name, /*sampled=*/true);
+      if (!faults_plan.empty()) {
+        trace_sink.set_faults(&fault_scratch.events,
+                              trace->cycle_duration_s(), trace->loops());
+      }
       sim::TeeSink tee(recorder, trace_sink);
       sim::simulate_session(*video, *trace, *abr, player, tee);
       std::string lines;
@@ -384,6 +423,11 @@ int main(int argc, char** argv) {
               m.abandoned ? "  [ABANDONED]" : "");
   std::printf("rebuffers         %lld (%.1f s; %.2f per playhour)\n",
               m.rebuffer_count, m.rebuffer_s, m.rebuffers_per_hour);
+  if (!faults_plan.empty()) {
+    std::printf("faults injected   %zu (%lld of %lld stalls during faults)\n",
+                fault_scratch.events.size(), m.fault_stall_count,
+                m.rebuffer_count);
+  }
   std::printf("avg video rate    %.0f kb/s (startup %.0f, steady %.0f)\n",
               util::to_kbps(m.avg_rate_bps),
               util::to_kbps(m.startup_rate_bps),

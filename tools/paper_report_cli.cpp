@@ -18,6 +18,7 @@
 #include "exp/dump.hpp"
 #include "exp/report.hpp"
 #include "media/video.hpp"
+#include "net/fault_inject.hpp"
 #include "obs/setup.hpp"
 #include "util/table.hpp"
 
@@ -68,6 +69,8 @@ int main(int argc, char** argv) {
   cfg.days = 3;
   cfg.seed = 2014;
   std::string out_path = "REPORT.md";
+  std::string faults_spec;
+  if (const char* env = std::getenv("BBA_FAULTS")) faults_spec = env;
   obs::ObsOptions obs_opts = obs::ObsOptions::from_env();
 
   for (int i = 1; i < argc; ++i) {
@@ -91,16 +94,26 @@ int main(int argc, char** argv) {
       cfg.threads = static_cast<std::size_t>(std::atoi(next("--threads")));
     } else if (arg == "--out") {
       out_path = next("--out");
+    } else if (arg == "--faults") {
+      faults_spec = next("--faults");
     } else {
       std::fprintf(stderr,
                    "usage: %s [--sessions N] [--days N] [--seed S] "
-                   "[--threads N] [--out REPORT.md]\n"
+                   "[--threads N] [--out REPORT.md] [--faults SPEC]\n"
                    "%s"
                    "  --threads 0 (default) uses all hardware threads; "
-                   "the report is bit-identical for every thread count\n",
+                   "the report is bit-identical for every thread count\n"
+                   "  --faults injects a fault plan into every session's "
+                   "trace (docs/faults.md; default $BBA_FAULTS, else off)\n",
                    argv[0], obs::ObsOptions::usage());
       return arg == "--help" || arg == "-h" ? 0 : 2;
     }
+  }
+  std::string faults_error;
+  if (!net::parse_fault_plan(faults_spec, &cfg.population.faults,
+                             &faults_error)) {
+    std::fprintf(stderr, "--faults: %s\n", faults_error.c_str());
+    return 2;
   }
 
   const std::vector<exp::Group> groups = {

@@ -6,7 +6,12 @@ Checks any combination of the three observability artifacts:
   --trace FILE.jsonl    session trace: every line is a JSON object; event
                         lines follow their session header; per-header chunk
                         counts match the header's "chunks" field; times are
-                        finite and monotone within a session.
+                        finite and monotone within a session. Fault-injected
+                        sessions (bba_abtest --faults) additionally carry
+                        one "fault" event per injected fault (count matching
+                        the header's "faults" field) and a "fault" flag on
+                        every stall that must agree with the recorded fault
+                        windows (docs/faults.md).
   --metrics FILE.json   metrics snapshot: one JSON object with a "counters"
                         map (required keys present, non-negative integers)
                         and a "histograms" map whose bucket counts sum to
@@ -33,6 +38,11 @@ SESSION_KEYS = ("seed", "day", "window", "session", "group", "sampled",
                 "anomaly", "chunks")
 CHUNK_KEYS = ("k", "rate", "rate_bps", "bits", "req_s", "fin_s", "dl_s",
               "buf_s")
+FAULT_KEYS = ("kind", "start_s", "dur_s", "factor")
+FAULT_KINDS = ("outage", "spike", "failover")
+# Fault-injected sessions (bba_abtest --faults) extend the header with the
+# fault count and the trace geometry used for stall attribution.
+FAULT_HEADER_KEYS = ("faults", "trace_cycle_s", "trace_loops")
 
 
 def fail(msg):
@@ -40,10 +50,33 @@ def fail(msg):
     return False
 
 
+def fault_overlaps(faults, cycle_s, loops, t0, t1):
+    """Mirror of net::fault_overlaps: does any injected fault window (cycle-
+    unrolled for looping traces) intersect [t0, t1]?"""
+    for f in faults:
+        start, dur = f["start_s"], f["dur_s"]
+        if dur <= 0.0:
+            continue
+        if not loops or cycle_s <= 0.0:
+            if start <= t1 and start + dur >= t0:
+                return True
+            continue
+        kmax = math.floor((t1 - start) / cycle_s)
+        kmin = math.ceil((t0 - start - dur) / cycle_s)
+        if kmax >= 0.0 and kmax >= kmin:
+            return True
+    return False
+
+
 def check_trace(path):
     sessions = 0
     chunks_in_session = 0
     declared_chunks = 0
+    declared_faults = None  # None = header did not declare fault injection
+    session_faults = []
+    fault_cycle_s = 0.0
+    fault_loops = False
+    fault_events_total = 0
     last_fin = -math.inf
     ok = True
 
@@ -53,6 +86,11 @@ def check_trace(path):
             ok = fail(f"{path}: session #{sessions} declared "
                       f"{declared_chunks} chunks, carried "
                       f"{chunks_in_session}")
+        if sessions and declared_faults is not None and \
+                len(session_faults) != declared_faults:
+            ok = fail(f"{path}: session #{sessions} declared "
+                      f"{declared_faults} faults, carried "
+                      f"{len(session_faults)}")
 
     with open(path, "r", encoding="utf-8") as f:
         for lineno, line in enumerate(f, 1):
@@ -69,11 +107,45 @@ def check_trace(path):
                 sessions += 1
                 chunks_in_session = 0
                 declared_chunks = ev.get("chunks", 0)
+                session_faults = []
                 last_fin = -math.inf
                 for key in SESSION_KEYS:
                     if key not in ev:
                         return fail(f"{path}:{lineno}: header missing "
                                     f"'{key}'")
+                if "faults" in ev:
+                    for key in FAULT_HEADER_KEYS:
+                        if key not in ev:
+                            return fail(f"{path}:{lineno}: fault-injected "
+                                        f"header missing '{key}'")
+                    declared_faults = ev["faults"]
+                    fault_cycle_s = ev["trace_cycle_s"]
+                    fault_loops = ev["trace_loops"]
+                    if not isinstance(declared_faults, int) or \
+                            declared_faults < 0:
+                        return fail(f"{path}:{lineno}: 'faults' not a "
+                                    "non-negative int")
+                else:
+                    declared_faults = None
+            elif kind == "fault":
+                if sessions == 0:
+                    return fail(f"{path}:{lineno}: fault before any header")
+                if declared_faults is None:
+                    return fail(f"{path}:{lineno}: fault event in a session "
+                                "whose header declares no faults")
+                for key in FAULT_KEYS:
+                    if key not in ev:
+                        return fail(f"{path}:{lineno}: fault missing "
+                                    f"'{key}'")
+                if ev["kind"] not in FAULT_KINDS:
+                    return fail(f"{path}:{lineno}: unknown fault kind "
+                                f"{ev['kind']!r}")
+                if not math.isfinite(ev["start_s"]) or ev["start_s"] < 0 or \
+                        not math.isfinite(ev["dur_s"]) or ev["dur_s"] < 0:
+                    return fail(f"{path}:{lineno}: fault window not finite "
+                                "and non-negative")
+                session_faults.append(ev)
+                fault_events_total += 1
             elif kind == "chunk":
                 if sessions == 0:
                     return fail(f"{path}:{lineno}: chunk before any header")
@@ -86,7 +158,26 @@ def check_trace(path):
                     return fail(f"{path}:{lineno}: chunk fin_s not "
                                 "finite/monotone")
                 last_fin = ev["fin_s"]
-            elif kind in ("stall", "off", "switch"):
+            elif kind == "stall":
+                if sessions == 0:
+                    return fail(f"{path}:{lineno}: stall before any header")
+                if declared_faults is None:
+                    if "fault" in ev:
+                        return fail(f"{path}:{lineno}: stall carries a "
+                                    "'fault' flag but the header declares "
+                                    "no fault injection")
+                else:
+                    if "fault" not in ev:
+                        return fail(f"{path}:{lineno}: fault-injected stall "
+                                    "missing 'fault' flag")
+                    expect = fault_overlaps(session_faults, fault_cycle_s,
+                                            fault_loops, ev["start_s"],
+                                            ev["start_s"] + ev["dur_s"])
+                    if ev["fault"] != expect:
+                        return fail(f"{path}:{lineno}: stall 'fault' flag "
+                                    f"{ev['fault']} disagrees with the "
+                                    f"recorded fault windows ({expect})")
+            elif kind in ("off", "switch"):
                 if sessions == 0:
                     return fail(f"{path}:{lineno}: {kind} before any header")
             else:
@@ -95,7 +186,9 @@ def check_trace(path):
     if sessions == 0:
         return fail(f"{path}: no session headers")
     if ok:
-        print(f"ok: {path} ({sessions} sessions)")
+        faults_note = f", {fault_events_total} fault events" \
+            if fault_events_total else ""
+        print(f"ok: {path} ({sessions} sessions{faults_note})")
     return ok
 
 
