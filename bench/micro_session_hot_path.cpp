@@ -21,6 +21,10 @@
 // third mode, streaming_obs, runs with metrics bound and 1-in-64 session
 // tracing live (serialization on, output discarded) and reports the
 // overhead fraction against plain streaming -- the ISSUE budget is <5%.
+// Two full-population rows (jsonl_full_trace / btrace_full_trace) serialize
+// EVERY session (--trace-sample 1) through each sink format and record
+// bytes/session; the btrace encoder must stay >=5x smaller than JSONL (a
+// hard exit -- bytes are deterministic, unlike timings).
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -39,6 +43,7 @@
 #include "exp/workload.hpp"
 #include "media/video.hpp"
 #include "net/trace_gen.hpp"
+#include "obs/btrace.hpp"
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
 #include "obs/trace.hpp"
@@ -336,6 +341,51 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --- Full-population capture: every session serialized (sample=1), ----
+  // jsonl vs btrace through the same polymorphic collector/sink pair the
+  // harness uses (output discarded; the serialization cost is real).
+  // Records bytes/session per format. The >=5x btrace compression floor is
+  // a hard exit below: bytes are a pure function of the encoder, immune to
+  // CI timing noise.
+  double full_bytes_per_session[2] = {0.0, 0.0};
+  double full_sps[2] = {0.0, 0.0};
+  {
+    obs::Observability obs_handle;
+    obs_handle.metrics = std::make_unique<obs::MetricsRegistry>(1);
+    obs::install(&obs_handle);
+    obs::SlotBinding bind(obs_handle.metrics.get(), 0);
+    obs::TraceConfig full_cfg;
+    full_cfg.sample = 1;
+    std::vector<sim::SessionMetrics> full_streamed(setup.sessions);
+    const char* modes[2] = {"jsonl_full_trace", "btrace_full_trace"};
+    for (int fmt = 0; fmt < 2; ++fmt) {
+      std::unique_ptr<obs::TraceCollector> collector =
+          fmt == 0 ? std::make_unique<obs::TraceCollector>(full_cfg)
+                   : std::make_unique<obs::BinaryTraceCollector>(full_cfg);
+      std::unique_ptr<obs::SessionTraceSink> trace_sink =
+          collector->make_sink();
+      std::string lines;
+      const std::uint64_t before = collector->bytes_written();
+      for (std::size_t i = 0; i < setup.sessions; ++i) {  // warmup + bytes
+        run_streaming_obs(setup, i, scratch, *collector, *trace_sink, lines,
+                          &full_streamed[i]);
+      }
+      full_bytes_per_session[fmt] =
+          static_cast<double>(collector->bytes_written() - before) /
+          static_cast<double>(setup.sessions);
+      time_direct(modes[fmt], [&](std::size_t i) {
+        run_streaming_obs(setup, i, scratch, *collector, *trace_sink, lines,
+                          &full_streamed[i]);
+      });
+      full_sps[fmt] = rows.back().sessions_per_sec;
+      for (std::size_t i = 0; i < setup.sessions; ++i) {
+        identical =
+            identical && metrics_identical(streamed[i], full_streamed[i]);
+      }
+    }
+    obs::install(nullptr);
+  }
+
   // --- Executor passes at N threads (the harness configuration). --------
   if (hw > 1) {
     runtime::SessionExecutor executor(hw);
@@ -400,6 +450,10 @@ int main(int argc, char** argv) {
       streaming_sps > 0.0 && obs_sps > 0.0
           ? 1.0 - obs_sps / streaming_sps
           : 0.0;
+  const double btrace_compression =
+      full_bytes_per_session[1] > 0.0
+          ? full_bytes_per_session[0] / full_bytes_per_session[1]
+          : 0.0;
 
   std::string json = "{\"bench\":\"session_hot_path\",";
   char buf[256];
@@ -417,7 +471,23 @@ int main(int argc, char** argv) {
     json += buf;
   }
   std::snprintf(buf, sizeof buf,
-                "],\"speedup_streaming_vs_recorded\":%.2f,"
+                "],\"full_population_trace\":{"
+                "\"jsonl_bytes_per_session\":%.1f,"
+                "\"btrace_bytes_per_session\":%.1f,"
+                "\"btrace_compression\":%.2f,"
+                "\"jsonl_overhead_frac\":%.3f,"
+                "\"btrace_overhead_frac\":%.3f}",
+                full_bytes_per_session[0], full_bytes_per_session[1],
+                btrace_compression,
+                streaming_sps > 0.0 && full_sps[0] > 0.0
+                    ? 1.0 - full_sps[0] / streaming_sps
+                    : 0.0,
+                streaming_sps > 0.0 && full_sps[1] > 0.0
+                    ? 1.0 - full_sps[1] / streaming_sps
+                    : 0.0);
+  json += buf;
+  std::snprintf(buf, sizeof buf,
+                ",\"speedup_streaming_vs_recorded\":%.2f,"
                 "\"obs_overhead_frac\":%.3f,"
                 "\"max_allocs_per_steady_session\":%lld,"
                 "\"bit_identical\":%s}",
@@ -446,6 +516,14 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "FAIL: streaming speedup %.2fx below the 1.5x target\n",
                  speedup);
+    ok = false;
+  }
+  if (btrace_compression < 5.0) {
+    std::fprintf(stderr,
+                 "FAIL: btrace compression %.2fx below the 5x target "
+                 "(%.1f -> %.1f bytes/session)\n",
+                 btrace_compression, full_bytes_per_session[0],
+                 full_bytes_per_session[1]);
     ok = false;
   }
   if (!identical) {

@@ -165,7 +165,9 @@ AbTestResult run_ab_test(const std::vector<Group>& groups,
     net::FaultScratch fault_scratch;
     net::CapacityTrace trace = net::CapacityTrace::constant(1.0);
     sim::StreamingMetricsSink sink;
-    obs::SessionTraceSink trace_sink;
+    // Created by the collector (make_sink), so the scratch serializes in
+    // whatever format the run selected -- JSONL lines or btrace blocks.
+    std::unique_ptr<obs::SessionTraceSink> trace_sink;
     std::vector<std::unique_ptr<abr::RateAdaptation>> abrs;
   };
   std::vector<SessionScratch> scratch(executor.threads());
@@ -248,19 +250,20 @@ AbTestResult run_ab_test(const std::vector<Group>& groups,
             // A replay mutes the metrics registry so the re-simulated
             // session is not double-counted.
             obs::SlotBinding mute(replay ? nullptr : registry, slot);
-            s.trace_sink.begin(tracer->config(), cfg.seed, day, window, user,
-                               groups[g].name, traced);
+            if (s.trace_sink == nullptr) s.trace_sink = tracer->make_sink();
+            s.trace_sink->begin(tracer->config(), cfg.seed, day, window,
+                                user, groups[g].name, traced);
             if (faulted) {
-              s.trace_sink.set_faults(&s.fault_scratch.events,
-                                      s.trace.cycle_duration_s(),
-                                      s.trace.loops());
+              s.trace_sink->set_faults(&s.fault_scratch.events,
+                                       s.trace.cycle_duration_s(),
+                                       s.trace.loops());
             }
-            sim::TeeSink tee(s.sink, s.trace_sink);
+            sim::TeeSink tee(s.sink, *s.trace_sink);
             sim::simulate_session(video, s.trace, *algorithm, player, tee);
             TaskTrace& tt = task_trace[task];
-            if (s.trace_sink.finish(&tt.lines)) {
+            if (s.trace_sink->finish(&tt.lines)) {
               ++tt.emitted;
-              if (s.trace_sink.anomalous()) ++tt.anomalies;
+              if (s.trace_sink->anomalous()) ++tt.anomalies;
             }
           } else if (tracer == nullptr) {
             sim::simulate_session(video, s.trace, *algorithm, player, s.sink);

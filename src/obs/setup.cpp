@@ -1,6 +1,8 @@
 #include "obs/setup.hpp"
 
 #include <cstdio>
+
+#include "obs/btrace.hpp"
 #include <cstdlib>
 #include <cstring>
 #include <thread>
@@ -25,6 +27,7 @@ std::size_t default_slots(std::size_t threads_hint) {
 ObsOptions ObsOptions::from_env() {
   ObsOptions opts;
   if (const char* v = env_or_null("BBA_TRACE")) opts.trace_out = v;
+  if (const char* v = env_or_null("BBA_TRACE_FORMAT")) opts.trace_format = v;
   if (const char* v = env_or_null("BBA_TRACE_SAMPLE")) {
     opts.trace_sample = static_cast<std::uint64_t>(std::atoll(v));
   }
@@ -46,6 +49,16 @@ bool ObsOptions::consume_arg(int argc, char** argv, int& i) {
     trace_out = value("--trace-out");
     return true;
   }
+  if (std::strcmp(arg, "--trace-format") == 0) {
+    trace_format = value("--trace-format");
+    if (trace_format != "jsonl" && trace_format != "btrace") {
+      std::fprintf(stderr,
+                   "--trace-format must be jsonl or btrace, got '%s'\n",
+                   trace_format.c_str());
+      std::exit(2);
+    }
+    return true;
+  }
   if (std::strcmp(arg, "--trace-sample") == 0) {
     trace_sample = static_cast<std::uint64_t>(
         std::atoll(value("--trace-sample")));
@@ -64,12 +77,14 @@ bool ObsOptions::consume_arg(int argc, char** argv, int& i) {
 
 const char* ObsOptions::usage() {
   return
-      "          [--trace-out FILE.jsonl] [--trace-sample N]  session event\n"
+      "          [--trace-out FILE] [--trace-sample N]  session event\n"
       "            tracing: 1-in-N deterministic sampling + anomaly capture\n"
+      "          [--trace-format jsonl|btrace]  text lines (default) or the\n"
+      "            columnar binary container (bba_trace cat converts back)\n"
       "          [--metrics-out FILE.json|-] [--profile-out FILE.json]\n"
       "            metrics snapshot / chrome://tracing profile\n"
-      "          (env: BBA_TRACE, BBA_TRACE_SAMPLE, BBA_METRICS, "
-      "BBA_PROFILE)\n";
+      "          (env: BBA_TRACE, BBA_TRACE_FORMAT, BBA_TRACE_SAMPLE,\n"
+      "           BBA_METRICS, BBA_PROFILE)\n";
 }
 
 ObsScope::ObsScope(const ObsOptions& opts, std::size_t threads_hint)
@@ -84,7 +99,11 @@ ObsScope::ObsScope(const ObsOptions& opts, std::size_t threads_hint)
     cfg.path = opts.trace_out;
     cfg.sample = opts.trace_sample;
     cfg.anomaly_rebuffer_s = opts.anomaly_rebuffer_s;
-    handle_->trace = std::make_unique<TraceCollector>(std::move(cfg));
+    if (opts.trace_format == "btrace") {
+      handle_->trace = std::make_unique<BinaryTraceCollector>(std::move(cfg));
+    } else {
+      handle_->trace = std::make_unique<TraceCollector>(std::move(cfg));
+    }
     if (!handle_->trace->ok()) {
       std::fprintf(stderr, "obs: could not open trace output %s\n",
                    opts.trace_out.c_str());
@@ -101,7 +120,10 @@ ObsScope::~ObsScope() {
   main_binding_.reset();  // unbind before the registry goes away
   install(nullptr);
 
-  if (handle_->trace != nullptr) handle_->trace->flush();
+  if (handle_->trace != nullptr) {
+    handle_->trace->finalize();
+    handle_->trace->flush();
+  }
 
   if (!opts_.metrics_out.empty() && handle_->metrics != nullptr) {
     const MetricsSnapshot snap = handle_->metrics->snapshot();
@@ -138,6 +160,13 @@ ObsScope::~ObsScope() {
                      handle_->trace->sessions_written()),
                  static_cast<unsigned long long>(
                      handle_->trace->anomalies_written()));
+    if (!handle_->trace->ok()) {
+      std::fprintf(stderr,
+                   "obs: trace %s is INCOMPLETE (%llu failed writes)\n",
+                   opts_.trace_out.c_str(),
+                   static_cast<unsigned long long>(
+                       handle_->trace->write_errors()));
+    }
   }
 }
 

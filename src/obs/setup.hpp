@@ -18,7 +18,8 @@ namespace bba::obs {
 
 /// Parsed observability options. Empty paths = that instrument disabled.
 struct ObsOptions {
-  std::string trace_out;          ///< session trace JSONL path
+  std::string trace_out;          ///< session trace output path
+  std::string trace_format = "jsonl";  ///< "jsonl" or "btrace"
   std::uint64_t trace_sample = 64;  ///< 1-in-N sampling (0 = anomalies only)
   double anomaly_rebuffer_s = 30.0;
   std::string metrics_out;  ///< metrics snapshot JSON path ("-" = stdout)

@@ -1,83 +1,13 @@
 #include "obs/trace.hpp"
 
 #include <cinttypes>
-#include <cstdarg>
 
 #include "exp/session_key.hpp"
+#include "obs/trace_jsonl.hpp"
 #include "util/assert.hpp"
 #include "util/rng.hpp"
 
 namespace bba::obs {
-
-namespace {
-
-void append_fmt(std::string& out, const char* fmt, ...) {
-  char buf[512];
-  va_list args;
-  va_start(args, fmt);
-  std::vsnprintf(buf, sizeof buf, fmt, args);
-  va_end(args);
-  out += buf;
-}
-
-/// Group names are plain identifiers; escape the JSON specials anyway so a
-/// hostile name cannot corrupt the stream.
-void append_escaped(std::string& out, const std::string& s) {
-  for (char c : s) {
-    if (c == '"' || c == '\\') out += '\\';
-    if (static_cast<unsigned char>(c) < 0x20) continue;
-    out += c;
-  }
-}
-
-void append_u64(std::string& out, std::uint64_t v) {
-  char buf[24];
-  char* const end = buf + sizeof buf;
-  char* p = end;
-  do {
-    *--p = static_cast<char>('0' + v % 10);
-    v /= 10;
-  } while (v != 0);
-  out.append(p, static_cast<std::size_t>(end - p));
-}
-
-/// Appends a non-negative finite double in fixed-point with microsecond
-/// (1e-6) precision, trailing zeros trimmed. A sampled session serializes
-/// thousands of doubles; snprintf %.10g at a few hundred ns each would
-/// dominate the whole tracing budget, so the event lines use this ~10x
-/// cheaper path. Values outside the fast range (negative, >= ~9e12,
-/// non-finite) fall back to %.10g -- they are rare and still valid JSON.
-void append_num(std::string& out, double v) {
-  if (!(v >= 0.0) || v >= 9.0e12) {
-    append_fmt(out, "%.10g", v);
-    return;
-  }
-  const std::uint64_t micro = static_cast<std::uint64_t>(v * 1e6 + 0.5);
-  char buf[32];
-  char* const end = buf + sizeof buf;
-  char* p = end;
-  std::uint64_t frac = micro % 1000000;
-  if (frac != 0) {
-    int digits = 6;
-    while (frac % 10 == 0) {
-      frac /= 10;
-      --digits;
-    }
-    for (int i = 0; i < digits; ++i) {
-      *--p = static_cast<char>('0' + frac % 10);
-      frac /= 10;
-    }
-    *--p = '.';
-  }
-  std::uint64_t whole = micro / 1000000;
-  do {
-    *--p = static_cast<char>('0' + whole % 10);
-    whole /= 10;
-  } while (whole != 0);
-  out.append(p, static_cast<std::size_t>(end - p));
-}
-
-}  // namespace
 
 TraceCollector::TraceCollector(TraceConfig cfg) : cfg_(std::move(cfg)) {
   if (!cfg_.path.empty()) {
@@ -90,6 +20,10 @@ TraceCollector::TraceCollector(TraceConfig cfg) : cfg_(std::move(cfg)) {
 
 TraceCollector::~TraceCollector() {
   if (file_ != nullptr) std::fclose(file_);
+}
+
+std::unique_ptr<SessionTraceSink> TraceCollector::make_sink() const {
+  return std::make_unique<SessionTraceSink>();
 }
 
 bool TraceCollector::sampled(std::uint64_t seed, std::uint64_t day,
@@ -111,25 +45,40 @@ void TraceCollector::note_session(bool anomalous) {
   if (anomalous) ++anomalies_written_;
 }
 
+void TraceCollector::note_io_error(const char* op) {
+  ok_ = false;
+  ++write_errors_;
+  if (!io_warned_) {
+    io_warned_ = true;
+    std::fprintf(stderr,
+                 "bba: trace %s failed for '%s' (disk full?); trace file is "
+                 "incomplete\n",
+                 op, cfg_.path.c_str());
+  }
+}
+
 void TraceCollector::write(const std::string& lines) {
   bytes_written_ += lines.size();
-  if (file_ != nullptr) {
-    std::fwrite(lines.data(), 1, lines.size(), file_);
+  if (file_ != nullptr && !lines.empty()) {
+    if (std::fwrite(lines.data(), 1, lines.size(), file_) != lines.size()) {
+      note_io_error("write");
+    }
   }
 }
 
 void TraceCollector::flush() {
-  if (file_ != nullptr) std::fflush(file_);
+  if (file_ != nullptr && std::fflush(file_) != 0) note_io_error("flush");
 }
 
 std::string TraceCollector::stats_json() const {
   std::string out;
-  append_fmt(out,
-             "\"trace\":{\"sample\":%" PRIu64 ",\"sessions_written\":%" PRIu64
-             ",\"anomalies_written\":%" PRIu64 ",\"bytes_written\":%" PRIu64
-             "}",
-             cfg_.sample, sessions_written_, anomalies_written_,
-             bytes_written_);
+  jsonl::append_fmt(
+      out,
+      "\"trace\":{\"format\":\"%s\",\"sample\":%" PRIu64
+      ",\"sessions_written\":%" PRIu64 ",\"anomalies_written\":%" PRIu64
+      ",\"bytes_written\":%" PRIu64 ",\"write_errors\":%" PRIu64 "}",
+      format_name(), cfg_.sample, sessions_written_, anomalies_written_,
+      bytes_written_, write_errors_);
   return out;
 }
 
@@ -192,133 +141,87 @@ void SessionTraceSink::on_session_end(const sim::SessionSummary& summary) {
   emit_ = capture_ && (sampled_ || anomalous_);
 }
 
+namespace {
+
+/// walk_session_lines visitor emitting the JSONL event lines.
+struct JsonlVisitor {
+  std::string& o;
+
+  void off(std::uint64_t k, double start_s, double wait_s) {
+    jsonl::append_off_line(o, k, jsonl::Num::of(start_s),
+                           jsonl::Num::of(wait_s));
+  }
+  void rate_switch(std::uint64_t k, double t_s, std::uint64_t from,
+                   std::uint64_t to) {
+    jsonl::append_switch_line(o, k, jsonl::Num::of(t_s), from, to);
+  }
+  void stall(std::uint64_t k, double start_s, double dur_s, int fault_flag) {
+    jsonl::append_stall_line(o, k, jsonl::Num::of(start_s),
+                             jsonl::Num::of(dur_s), fault_flag);
+  }
+  void chunk(const sim::ChunkRecord& c, double played_s) {
+    jsonl::ChunkLine line;
+    line.k = c.index;
+    line.rate = c.rate_index;
+    line.rate_bps = jsonl::Num::of(c.rate_bps);
+    line.bits = jsonl::Num::of(c.size_bits);
+    line.req_s = jsonl::Num::of(c.request_s);
+    line.fin_s = jsonl::Num::of(c.finish_s);
+    line.dl_s = jsonl::Num::of(c.download_s);
+    line.tput_bps = jsonl::Num::of(c.throughput_bps);
+    line.buf_s = jsonl::Num::of(c.buffer_after_s);
+    line.pos_s = jsonl::Num::of(c.position_s);
+    line.played_s = jsonl::Num::of(played_s);
+    jsonl::append_chunk_line(o, line);
+  }
+};
+
+}  // namespace
+
 bool SessionTraceSink::finish(std::string* out) const {
   BBA_ASSERT(ended_, "finish() requires a completed session");
   if (!emit_ || out == nullptr) return emit_;
   std::string& o = *out;
 
-  append_fmt(o,
-             "{\"ev\":\"session\",\"seed\":%" PRIu64 ",\"day\":%" PRIu64
-             ",\"window\":%" PRIu64 ",\"session\":%" PRIu64 ",\"group\":\"",
-             seed_, day_, window_, session_);
-  append_escaped(o, group_);
-  append_fmt(o,
-             "\",\"sampled\":%s,\"anomaly\":%s,\"v_s\":%.10g,"
-             "\"started\":%s,\"abandoned\":%s,\"join_s\":%.10g,"
-             "\"played_s\":%.10g,\"wall_s\":%.10g,\"rebuffer_count\":%zu,"
-             "\"rebuffer_s\":%.10g,\"chunks\":%zu",
-             sampled_ ? "true" : "false", anomalous_ ? "true" : "false",
-             summary_.chunk_duration_s, summary_.started ? "true" : "false",
-             summary_.abandoned ? "true" : "false", summary_.join_s,
-             summary_.played_s, summary_.wall_s, rebuffers_.size(),
-             rebuffer_total_s_, chunks_.size());
+  jsonl::SessionHeader h;
+  h.seed = seed_;
+  h.day = day_;
+  h.window = window_;
+  h.session = session_;
+  h.group = group_;
+  h.sampled = sampled_;
+  h.anomaly = anomalous_;
+  h.v_s = summary_.chunk_duration_s;
+  h.started = summary_.started;
+  h.abandoned = summary_.abandoned;
+  h.join_s = summary_.join_s;
+  h.played_s = summary_.played_s;
+  h.wall_s = summary_.wall_s;
+  h.rebuffer_count = rebuffers_.size();
+  h.rebuffer_s = rebuffer_total_s_;
+  h.chunks = chunks_.size();
   if (faults_ != nullptr) {
-    // Fault-injected sessions declare their fault count and trace geometry
-    // (the cycle/loop pair the overlap attribution used) in the header;
-    // fault-free runs never reach this branch, keeping their bytes
-    // unchanged.
-    o += ",\"faults\":";
-    append_u64(o, faults_->size());
-    o += ",\"trace_cycle_s\":";
-    append_num(o, fault_cycle_s_);
-    o += ",\"trace_loops\":";
-    o += fault_loops_ ? "true" : "false";
+    h.has_faults = true;
+    h.fault_count = faults_->size();
+    h.trace_cycle_s = jsonl::Num::of(fault_cycle_s_);
+    h.trace_loops = fault_loops_;
   }
-  o += "}\n";
+  jsonl::append_session_line(o, h);
 
   if (faults_ != nullptr) {
     // The injected faults, in first-cycle trace time, directly after the
     // header so a reader sees the fault overlay before the chunk timeline.
     for (const net::InjectedFault& f : *faults_) {
-      o += "{\"ev\":\"fault\",\"kind\":\"";
-      o += net::fault_kind_name(f.kind);
-      o += "\",\"start_s\":";
-      append_num(o, f.start_s);
-      o += ",\"dur_s\":";
-      append_num(o, f.duration_s);
-      o += ",\"factor\":";
-      append_num(o, f.factor);
-      o += "}\n";
+      jsonl::append_fault_line(o, net::fault_kind_name(f.kind),
+                               jsonl::Num::of(f.start_s),
+                               jsonl::Num::of(f.duration_s),
+                               jsonl::Num::of(f.factor));
     }
   }
 
-  // Chronological merge of the chunk-derived lines (OFF wait, rate switch,
-  // chunk completion -- times monotone across chunks) with the stall lines
-  // (monotone in start_s). Stalls start mid-download, so they interleave
-  // between a chunk's request and its completion.
-  std::size_t ri = 0;
-  auto emit_stalls_before = [&](double t) {
-    while (ri < rebuffers_.size() && rebuffers_[ri].start_s <= t) {
-      const sim::RebufferEvent& r = rebuffers_[ri++];
-      o += "{\"ev\":\"stall\",\"k\":";
-      append_u64(o, r.chunk_index);
-      o += ",\"start_s\":";
-      append_num(o, r.start_s);
-      o += ",\"dur_s\":";
-      append_num(o, r.duration_s);
-      if (faults_ != nullptr) {
-        o += ",\"fault\":";
-        o += r.during_fault ? "true" : "false";
-      }
-      o += "}\n";
-    }
-  };
-
-  bool has_prev_rate = false;
-  std::size_t prev_rate = 0;
-  for (std::size_t i = 0; i < chunks_.size(); ++i) {
-    const sim::ChunkRecord& c = chunks_[i];
-    if (c.off_wait_s > 0.0) {
-      const double off_start = c.request_s - c.off_wait_s;
-      emit_stalls_before(off_start);
-      o += "{\"ev\":\"off\",\"k\":";
-      append_u64(o, c.index);
-      o += ",\"start_s\":";
-      append_num(o, off_start);
-      o += ",\"wait_s\":";
-      append_num(o, c.off_wait_s);
-      o += "}\n";
-    }
-    if (has_prev_rate && c.rate_index != prev_rate) {
-      emit_stalls_before(c.request_s);
-      o += "{\"ev\":\"switch\",\"k\":";
-      append_u64(o, c.index);
-      o += ",\"t_s\":";
-      append_num(o, c.request_s);
-      o += ",\"from\":";
-      append_u64(o, prev_rate);
-      o += ",\"to\":";
-      append_u64(o, c.rate_index);
-      o += "}\n";
-    }
-    prev_rate = c.rate_index;
-    has_prev_rate = true;
-    emit_stalls_before(c.finish_s);
-    o += "{\"ev\":\"chunk\",\"k\":";
-    append_u64(o, c.index);
-    o += ",\"rate\":";
-    append_u64(o, c.rate_index);
-    o += ",\"rate_bps\":";
-    append_num(o, c.rate_bps);
-    o += ",\"bits\":";
-    append_num(o, c.size_bits);
-    o += ",\"req_s\":";
-    append_num(o, c.request_s);
-    o += ",\"fin_s\":";
-    append_num(o, c.finish_s);
-    o += ",\"dl_s\":";
-    append_num(o, c.download_s);
-    o += ",\"tput_bps\":";
-    append_num(o, c.throughput_bps);
-    o += ",\"buf_s\":";
-    append_num(o, c.buffer_after_s);
-    o += ",\"pos_s\":";
-    append_num(o, c.position_s);
-    o += ",\"played_s\":";
-    append_num(o, played_at_chunk_[i]);
-    o += "}\n";
-  }
-  emit_stalls_before(std::numeric_limits<double>::infinity());
+  jsonl::walk_session_lines(chunks_, played_at_chunk_, rebuffers_,
+                            /*with_fault_flags=*/faults_ != nullptr,
+                            JsonlVisitor{o});
   return true;
 }
 

@@ -21,6 +21,14 @@
 // so A/B results are bit-identical with tracing on, off, or at any
 // sampling rate (tests/test_obs_trace.cpp enforces this).
 //
+// TraceCollector/SessionTraceSink are the JSONL pair and double as the
+// base classes of the columnar binary pair in obs/btrace.hpp
+// (BinaryTraceCollector/BinaryTraceSink): the sampling decision, anomaly
+// trigger, event buffering, tallies, and the single-writer contract are
+// format-independent, so only `finish` (serialize one session) and
+// `write` (append to the container) differ. Harness code holds the base
+// types and never branches on the format.
+//
 // File schema: docs/observability.md. A session's header line ("ev":
 // "session", carrying coordinates, group, and summary) precedes its event
 // lines; event lines belong to the most recent header.
@@ -30,6 +38,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <limits>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -38,10 +47,12 @@
 
 namespace bba::obs {
 
+class SessionTraceSink;
+
 /// Tracing parameters.
 struct TraceConfig {
-  /// Output JSONL path; empty discards serialized sessions (benchmarks
-  /// measure serialization without I/O that way).
+  /// Output path; empty discards serialized sessions (benchmarks measure
+  /// serialization without I/O that way).
   std::string path;
 
   /// Sample 1-in-N sessions deterministically (0 = sampling off, only
@@ -64,19 +75,32 @@ struct TraceConfig {
 /// Owns the trace output file and the sampling decision. The harness calls
 /// `sampled()` from any thread (pure function of the coordinates) and
 /// `write()` from exactly one thread, in canonical task order, so the file
-/// is deterministic.
+/// is deterministic. This base class writes JSONL; BinaryTraceCollector
+/// (obs/btrace.hpp) overrides the format hooks for the columnar container.
 class TraceCollector {
  public:
   explicit TraceCollector(TraceConfig cfg);
-  ~TraceCollector();
+  virtual ~TraceCollector();
 
   TraceCollector(const TraceCollector&) = delete;
   TraceCollector& operator=(const TraceCollector&) = delete;
 
   const TraceConfig& config() const { return cfg_; }
 
-  /// True when the file opened (or no file was requested).
+  /// True when the file opened (or no file was requested) and no write or
+  /// flush has failed since. A full disk flips this to false; the byte
+  /// tallies keep counting what *should* have been written, and
+  /// `write_errors()` counts the failed calls.
   bool ok() const { return ok_; }
+
+  /// The stats_json / CLI format tag: "jsonl" here, "btrace" for the
+  /// binary collector.
+  virtual const char* format_name() const { return "jsonl"; }
+
+  /// A session sink producing this collector's serialization format. The
+  /// harness creates one per worker slot and feeds its `finish` output
+  /// back through `write`.
+  virtual std::unique_ptr<SessionTraceSink> make_sink() const;
 
   /// Deterministic 1-in-N decision for session (seed, day, window,
   /// session): a pure function of the coordinates, independent of thread
@@ -84,36 +108,56 @@ class TraceCollector {
   bool sampled(std::uint64_t seed, std::uint64_t day, std::uint64_t window,
                std::uint64_t session) const;
 
-  /// Appends pre-serialized JSONL (single-writer; the harness calls this
+  /// Appends pre-serialized bytes (single-writer; the harness calls this
   /// from its sequential fold). Empty config path counts but discards.
-  void write(const std::string& lines);
+  /// Short writes set ok() false, bump write_errors, and warn on stderr
+  /// once -- a full disk must not masquerade as a healthy trace.
+  virtual void write(const std::string& bytes);
 
-  void flush();
+  virtual void flush();
+
+  /// Ends the container: formats with a footer (btrace) write it here. A
+  /// no-op for JSONL; destructors call it too, so explicit calls are only
+  /// needed to read a complete file while the collector is still alive.
+  virtual void finalize() {}
 
   // Tallies for the metrics snapshot.
   std::uint64_t sessions_written() const { return sessions_written_; }
   std::uint64_t anomalies_written() const { return anomalies_written_; }
   std::uint64_t bytes_written() const { return bytes_written_; }
+  std::uint64_t write_errors() const { return write_errors_; }
   void note_session(bool anomalous);
 
   /// `"trace":{...}` JSON fragment for MetricsSnapshot::to_json.
   std::string stats_json() const;
 
+ protected:
+  /// Records one failed stdio call (short fwrite / failed fflush).
+  void note_io_error(const char* op);
+
+  std::FILE* file() { return file_; }
+
  private:
   TraceConfig cfg_;
   std::FILE* file_ = nullptr;
   bool ok_ = false;
+  bool io_warned_ = false;
   std::uint64_t sessions_written_ = 0;
   std::uint64_t anomalies_written_ = 0;
   std::uint64_t bytes_written_ = 0;
+  std::uint64_t write_errors_ = 0;
 };
 
 /// Buffers one session's events and serializes them on demand. Reusable:
 /// begin() resets all per-session state, and the event buffers only grow
 /// to the largest traced session (no steady-state allocation once warm).
-class SessionTraceSink final : public sim::SessionSink {
+/// The base class serializes JSONL; BinaryTraceSink (obs/btrace.hpp)
+/// overrides finish() to emit a columnar binary block from the same
+/// buffered events.
+class SessionTraceSink : public sim::SessionSink {
  public:
   SessionTraceSink() = default;
+  ~SessionTraceSink() override = default;
 
   /// Arms the sink for the next session. `sampled` is the collector's
   /// deterministic decision; buffering is skipped entirely when the
@@ -145,11 +189,12 @@ class SessionTraceSink final : public sim::SessionSink {
   /// True if the anomaly trigger fired for the last session.
   bool anomalous() const { return anomalous_; }
 
-  /// Serializes the buffered session (header line + chronological event
-  /// lines) and appends to `out` if it qualified. Returns should_emit().
-  bool finish(std::string* out) const;
+  /// Serializes the buffered session (header + chronological event lines
+  /// in this sink's format) and appends to `out` if it qualified. Returns
+  /// should_emit().
+  virtual bool finish(std::string* out) const;
 
- private:
+ protected:
   const TraceConfig* cfg_ = nullptr;
   std::uint64_t seed_ = 0, day_ = 0, window_ = 0, session_ = 0;
   std::string group_;

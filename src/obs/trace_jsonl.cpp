@@ -1,0 +1,178 @@
+#include "obs/trace_jsonl.hpp"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+namespace bba::obs::jsonl {
+
+void append_fmt(std::string& out, const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_end(args);
+  out += buf;
+}
+
+void append_escaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (static_cast<unsigned char>(c) < 0x20) continue;
+    out += c;
+  }
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  char* const end = buf + sizeof buf;
+  char* p = end;
+  do {
+    *--p = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  out.append(p, static_cast<std::size_t>(end - p));
+}
+
+void append_micro(std::string& out, std::uint64_t micro) {
+  char buf[32];
+  char* const end = buf + sizeof buf;
+  char* p = end;
+  std::uint64_t frac = micro % 1000000;
+  if (frac != 0) {
+    int digits = 6;
+    while (frac % 10 == 0) {
+      frac /= 10;
+      --digits;
+    }
+    for (int i = 0; i < digits; ++i) {
+      *--p = static_cast<char>('0' + frac % 10);
+      frac /= 10;
+    }
+    *--p = '.';
+  }
+  std::uint64_t whole = micro / 1000000;
+  do {
+    *--p = static_cast<char>('0' + whole % 10);
+    whole /= 10;
+  } while (whole != 0);
+  out.append(p, static_cast<std::size_t>(end - p));
+}
+
+void append_num(std::string& out, const Num& n) {
+  if (n.is_micro) {
+    append_micro(out, n.micro);
+  } else {
+    append_fmt(out, "%.10g", n.raw);
+  }
+}
+
+void append_session_line(std::string& out, const SessionHeader& h) {
+  append_fmt(out,
+             "{\"ev\":\"session\",\"seed\":%" PRIu64 ",\"day\":%" PRIu64
+             ",\"window\":%" PRIu64 ",\"session\":%" PRIu64 ",\"group\":\"",
+             h.seed, h.day, h.window, h.session);
+  append_escaped(out, h.group);
+  append_fmt(out,
+             "\",\"sampled\":%s,\"anomaly\":%s,\"v_s\":%.10g,"
+             "\"started\":%s,\"abandoned\":%s,\"join_s\":%.10g,"
+             "\"played_s\":%.10g,\"wall_s\":%.10g,\"rebuffer_count\":%zu,"
+             "\"rebuffer_s\":%.10g,\"chunks\":%zu",
+             h.sampled ? "true" : "false", h.anomaly ? "true" : "false",
+             h.v_s, h.started ? "true" : "false",
+             h.abandoned ? "true" : "false", h.join_s, h.played_s, h.wall_s,
+             h.rebuffer_count, h.rebuffer_s, h.chunks);
+  if (h.has_faults) {
+    // Fault-injected sessions declare their fault count and trace geometry
+    // (the cycle/loop pair the overlap attribution used) in the header;
+    // fault-free runs never reach this branch, keeping their bytes
+    // unchanged.
+    out += ",\"faults\":";
+    append_u64(out, h.fault_count);
+    out += ",\"trace_cycle_s\":";
+    append_num(out, h.trace_cycle_s);
+    out += ",\"trace_loops\":";
+    out += h.trace_loops ? "true" : "false";
+  }
+  out += "}\n";
+}
+
+void append_fault_line(std::string& out, std::string_view kind, Num start_s,
+                       Num dur_s, Num factor) {
+  out += "{\"ev\":\"fault\",\"kind\":\"";
+  out += kind;
+  out += "\",\"start_s\":";
+  append_num(out, start_s);
+  out += ",\"dur_s\":";
+  append_num(out, dur_s);
+  out += ",\"factor\":";
+  append_num(out, factor);
+  out += "}\n";
+}
+
+void append_off_line(std::string& out, std::uint64_t k, Num start_s,
+                     Num wait_s) {
+  out += "{\"ev\":\"off\",\"k\":";
+  append_u64(out, k);
+  out += ",\"start_s\":";
+  append_num(out, start_s);
+  out += ",\"wait_s\":";
+  append_num(out, wait_s);
+  out += "}\n";
+}
+
+void append_switch_line(std::string& out, std::uint64_t k, Num t_s,
+                        std::uint64_t from, std::uint64_t to) {
+  out += "{\"ev\":\"switch\",\"k\":";
+  append_u64(out, k);
+  out += ",\"t_s\":";
+  append_num(out, t_s);
+  out += ",\"from\":";
+  append_u64(out, from);
+  out += ",\"to\":";
+  append_u64(out, to);
+  out += "}\n";
+}
+
+void append_stall_line(std::string& out, std::uint64_t k, Num start_s,
+                       Num dur_s, int fault_flag) {
+  out += "{\"ev\":\"stall\",\"k\":";
+  append_u64(out, k);
+  out += ",\"start_s\":";
+  append_num(out, start_s);
+  out += ",\"dur_s\":";
+  append_num(out, dur_s);
+  if (fault_flag >= 0) {
+    out += ",\"fault\":";
+    out += fault_flag != 0 ? "true" : "false";
+  }
+  out += "}\n";
+}
+
+void append_chunk_line(std::string& out, const ChunkLine& c) {
+  out += "{\"ev\":\"chunk\",\"k\":";
+  append_u64(out, c.k);
+  out += ",\"rate\":";
+  append_u64(out, c.rate);
+  out += ",\"rate_bps\":";
+  append_num(out, c.rate_bps);
+  out += ",\"bits\":";
+  append_num(out, c.bits);
+  out += ",\"req_s\":";
+  append_num(out, c.req_s);
+  out += ",\"fin_s\":";
+  append_num(out, c.fin_s);
+  out += ",\"dl_s\":";
+  append_num(out, c.dl_s);
+  out += ",\"tput_bps\":";
+  append_num(out, c.tput_bps);
+  out += ",\"buf_s\":";
+  append_num(out, c.buf_s);
+  out += ",\"pos_s\":";
+  append_num(out, c.pos_s);
+  out += ",\"played_s\":";
+  append_num(out, c.played_s);
+  out += "}\n";
+}
+
+}  // namespace bba::obs::jsonl

@@ -14,9 +14,11 @@
 // (DAY, WINDOW, SESSION) under experiment seed --seed: all streams are
 // pure functions of those coordinates, so the replay is bit-exact.
 //
-// --repro-trace FILE.jsonl reads a session trace written by
-// `bba_abtest --trace-out` and replays its first anomalous session (or the
-// one picked with --repro-pick N) the same way: the header line carries the
+// --repro-trace FILE reads a session trace written by `bba_abtest
+// --trace-out` -- JSONL or the btrace binary container (sniffed by magic;
+// binary files resolve --repro-pick through the footer index, no scan) --
+// and replays its first anomalous session (or the one picked with
+// --repro-pick N) the same way: the header line carries the
 // grid coordinates and group, which are all a bit-exact replay needs. The
 // replay prints a Fig. 4-style chunk timeline -- the paper's case-study
 // plot recovered from one line of a production-style trace.
@@ -44,6 +46,7 @@
 #include "net/fault_inject.hpp"
 #include "net/trace_gen.hpp"
 #include "net/trace_io.hpp"
+#include "obs/btrace.hpp"
 #include "obs/setup.hpp"
 #include "obs/trace.hpp"
 #include "sim/metrics.hpp"
@@ -102,10 +105,52 @@ bool json_true(const std::string& line, const char* key) {
   return line.find(std::string("\"") + key + "\":true") != std::string::npos;
 }
 
+/// Selects a session from a btrace file via the footer index: no block is
+/// decoded, and a --repro-pick N lookup is a single index access.
+bool select_btrace_session(const std::string& path, long pick,
+                           TraceSessionRef* out) {
+  obs::BtraceReader reader;
+  std::string error;
+  if (!reader.open(path, &error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return false;
+  }
+  const std::size_t n = reader.session_count();
+  long found_at = -1;
+  long anomalies = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!reader.entry(i).anomaly) continue;
+    ++anomalies;
+    if (pick < 0 && found_at < 0) found_at = static_cast<long>(i);
+  }
+  if (pick >= 0) found_at = pick < static_cast<long>(n) ? pick : -1;
+  if (found_at < 0) {
+    std::fprintf(stderr,
+                 "%s: %zu session headers, %ld anomalous; %s\n", path.c_str(),
+                 n, anomalies,
+                 pick >= 0 ? "--repro-pick out of range"
+                           : "no anomalous session to replay "
+                             "(use --repro-pick N)");
+    return false;
+  }
+  const obs::BtraceEntry& e = reader.entry(static_cast<std::size_t>(found_at));
+  out->seed = e.seed;
+  out->day = e.day;
+  out->window = e.window;
+  out->session = e.session;
+  out->group = reader.group_name(e.group_id);
+  out->anomaly = e.anomaly;
+  return true;
+}
+
 /// Scans a trace JSONL file for session headers. `pick` < 0 selects the
 /// first anomalous session; otherwise the pick-th header (0-based).
+/// Dispatches to the btrace footer index when the file sniffs binary.
 bool select_trace_session(const std::string& path, long pick,
                           TraceSessionRef* out) {
+  if (obs::BtraceReader::sniff(path)) {
+    return select_btrace_session(path, pick, out);
+  }
   std::ifstream in(path);
   if (!in) {
     std::fprintf(stderr, "could not read trace %s\n", path.c_str());
@@ -247,7 +292,8 @@ int main(int argc, char** argv) {
           "usage: %s [--abr NAME] [--trace FILE] [--video FILE]\n"
           "          [--watch MIN] [--median-kbps K] [--sigma S]\n"
           "          [--seed S] [--repro DAY,WINDOW,SESSION] [--log out.csv]\n"
-          "          [--repro-trace FILE.jsonl] [--repro-pick N] [--timeline]\n"
+          "          [--repro-trace FILE.{jsonl,btrace}] [--repro-pick N]\n"
+          "          [--timeline]\n"
           "          [--faults SPEC]\n"
           "%s"
           "--repro replays the exact session the A/B harness runs at those\n"
@@ -392,18 +438,19 @@ int main(int argc, char** argv) {
       // Trace this session unconditionally (the tool runs exactly one):
       // `bba_session --repro ... --trace-out one.jsonl` round-trips with
       // --repro-trace.
-      obs::SessionTraceSink trace_sink;
-      trace_sink.begin(collector->config(), seed, repro_day, repro_window,
-                       repro_session, abr_name, /*sampled=*/true);
+      std::unique_ptr<obs::SessionTraceSink> trace_sink =
+          collector->make_sink();
+      trace_sink->begin(collector->config(), seed, repro_day, repro_window,
+                        repro_session, abr_name, /*sampled=*/true);
       if (!faults_plan.empty()) {
-        trace_sink.set_faults(&fault_scratch.events,
-                              trace->cycle_duration_s(), trace->loops());
+        trace_sink->set_faults(&fault_scratch.events,
+                               trace->cycle_duration_s(), trace->loops());
       }
-      sim::TeeSink tee(recorder, trace_sink);
+      sim::TeeSink tee(recorder, *trace_sink);
       sim::simulate_session(*video, *trace, *abr, player, tee);
       std::string lines;
-      if (trace_sink.finish(&lines)) {
-        collector->note_session(trace_sink.anomalous());
+      if (trace_sink->finish(&lines)) {
+        collector->note_session(trace_sink->anomalous());
         collector->write(lines);
         collector->flush();
       }

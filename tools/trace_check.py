@@ -11,7 +11,10 @@ Checks any combination of the three observability artifacts:
                         one "fault" event per injected fault (count matching
                         the header's "faults" field) and a "fault" flag on
                         every stall that must agree with the recorded fault
-                        windows (docs/faults.md).
+                        windows (docs/faults.md). Pass `-` to read JSONL
+                        from stdin; binary traces (--trace-format btrace)
+                        validate through the converter:
+                        `bba_trace cat run.btrace | trace_check.py --trace -`
   --metrics FILE.json   metrics snapshot: one JSON object with a "counters"
                         map (required keys present, non-negative integers)
                         and a "histograms" map whose bucket counts sum to
@@ -68,6 +71,24 @@ def fault_overlaps(faults, cycle_s, loops, t0, t1):
     return False
 
 
+BTRACE_MAGIC = b"BBATRACE"
+
+
+def open_trace(path):
+    """Open a JSONL trace, or explain how to convert a binary one. `-`
+    reads stdin (the `bba_trace cat` pipe)."""
+    if path == "-":
+        return sys.stdin
+    f = open(path, "rb")
+    head = f.read(len(BTRACE_MAGIC))
+    f.close()
+    if head == BTRACE_MAGIC:
+        raise ValueError(
+            f"{path} is a binary btrace container; convert it first: "
+            f"bba_trace cat {path} | {sys.argv[0]} --trace -")
+    return open(path, "r", encoding="utf-8")
+
+
 def check_trace(path):
     sessions = 0
     chunks_in_session = 0
@@ -92,7 +113,11 @@ def check_trace(path):
                       f"{declared_faults} faults, carried "
                       f"{len(session_faults)}")
 
-    with open(path, "r", encoding="utf-8") as f:
+    try:
+        f = open_trace(path)
+    except ValueError as e:
+        return fail(str(e))
+    with f:
         for lineno, line in enumerate(f, 1):
             line = line.strip()
             if not line:
