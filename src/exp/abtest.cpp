@@ -1,6 +1,7 @@
 #include "exp/abtest.hpp"
 
 #include <cstdint>
+#include <vector>
 
 #include "abr/baselines.hpp"
 #include "abr/control.hpp"
@@ -8,23 +9,16 @@
 #include "core/bba1.hpp"
 #include "core/bba2.hpp"
 #include "core/bba_others.hpp"
+#include "exp/block.hpp"
 #include "exp/session_key.hpp"
-#include "obs/metrics.hpp"
 #include "obs/obs.hpp"
 #include "obs/profile.hpp"
-#include "obs/trace.hpp"
-#include "runtime/session_executor.hpp"
 #include "sim/metrics.hpp"
-#include "sim/session_sink.hpp"
 #include "util/assert.hpp"
 
 namespace bba::exp {
 
-namespace {
-
-/// Accumulates one session into a window cell; rate averages are
-/// play-time weighted.
-void accumulate(WindowMetrics& cell, const sim::SessionMetrics& m) {
+void accumulate_session(WindowMetrics& cell, const sim::SessionMetrics& m) {
   const double hours = m.play_s / 3600.0;
   cell.play_hours += hours;
   cell.rebuffer_count += static_cast<double>(m.rebuffer_count);
@@ -55,8 +49,6 @@ void accumulate(WindowMetrics& cell, const sim::SessionMetrics& m) {
     }
   }
 }
-
-}  // namespace
 
 std::size_t AbTestResult::group_index(const std::string& name) const {
   for (std::size_t i = 0; i < group_names.size(); ++i) {
@@ -122,15 +114,8 @@ AbTestResult run_ab_test(const std::vector<Group>& groups,
   // sink. None of it feeds a simulation value, so results stay
   // bit-identical with any of it on or off (tests/test_obs_trace.cpp).
   obs::Observability* o = obs::global();
-  obs::MetricsRegistry* registry = o != nullptr ? o->metrics.get() : nullptr;
   obs::Profiler* profiler = o != nullptr ? o->profiler.get() : nullptr;
-  obs::TraceCollector* tracer =
-      (o != nullptr && o->trace != nullptr && o->trace->ok())
-          ? o->trace.get()
-          : nullptr;
   obs::ScopedTimer run_span(profiler, 0, "run_ab_test");
-
-  const Population population(cfg.population);
 
   AbTestResult result;
   result.group_names.reserve(groups.size());
@@ -140,157 +125,28 @@ AbTestResult run_ab_test(const std::vector<Group>& groups,
       std::vector<std::vector<WindowMetrics>>(
           cfg.days, std::vector<WindowMetrics>(kWindowsPerDay)));
 
-  // One task per (day, window, session) triple; every group replays the
-  // task's shared environment (common random numbers). Tasks write their
-  // per-group metrics into disjoint slots; the fold then accumulates them
-  // in canonical index order -- the identical floating-point sequence the
-  // sequential loop performs, so the result is bit-independent of the
-  // thread count.
-  const std::size_t n_groups = groups.size();
+  // One key per (day, window, session) triple; every group replays the
+  // key's shared environment (common random numbers). The runner folds the
+  // per-session metrics in canonical index order -- the identical
+  // floating-point sequence the sequential loop performs, so the result is
+  // bit-independent of the thread count.
   const std::size_t per_day = kWindowsPerDay * cfg.sessions_per_window;
-  const std::size_t n_tasks = cfg.days * per_day;
-  std::vector<sim::SessionMetrics> metrics(n_tasks * n_groups);
+  std::vector<SessionKey> keys;
+  keys.reserve(cfg.days * per_day);
+  for (std::size_t day = 0; day < cfg.days; ++day) {
+    for (std::size_t window = 0; window < kWindowsPerDay; ++window) {
+      for (std::size_t user = 0; user < cfg.sessions_per_window; ++user) {
+        keys.push_back(SessionKey{cfg.seed, day, window, user});
+      }
+    }
+  }
 
-  runtime::SessionExecutor executor(cfg.threads);
-
-  // Per-thread scratch, indexed by the executor slot: the trace is rebuilt
-  // in place (CapacityTrace::assign ping-pongs storage with the generation
-  // buffers), metrics stream through a StreamingMetricsSink (bit-identical
-  // to compute_metrics over a recording), and ABR instances are reused
-  // across sessions where the group allows. Steady state does zero heap
-  // allocation per session. None of this affects the produced values, so
-  // the determinism contract holds.
-  struct SessionScratch {
-    net::TraceScratch trace_scratch;
-    net::FaultScratch fault_scratch;
-    net::CapacityTrace trace = net::CapacityTrace::constant(1.0);
-    sim::StreamingMetricsSink sink;
-    // Created by the collector (make_sink), so the scratch serializes in
-    // whatever format the run selected -- JSONL lines or btrace blocks.
-    std::unique_ptr<obs::SessionTraceSink> trace_sink;
-    std::vector<std::unique_ptr<abr::RateAdaptation>> abrs;
-  };
-  std::vector<SessionScratch> scratch(executor.threads());
-  for (auto& s : scratch) s.abrs.resize(n_groups);
-
-  // Traced sessions serialize into per-task buffers during the parallel
-  // map and are written during the sequential fold, in canonical task
-  // order -- the trace file bytes are therefore identical at every thread
-  // count, exactly like the metrics.
-  struct TaskTrace {
-    std::string lines;
-    std::uint32_t emitted = 0;
-    std::uint32_t anomalies = 0;
-  };
-  std::vector<TaskTrace> task_trace(tracer != nullptr ? n_tasks : 0);
-
-  executor.execute_slotted(
-      n_tasks,
-      [&](std::size_t task, std::size_t slot) {
-        obs::SlotBinding metrics_binding(registry, slot);
-        const std::size_t day = task / per_day;
-        const std::size_t window = (task % per_day) / cfg.sessions_per_window;
-        const std::size_t user = task % cfg.sessions_per_window;
-        // Common random numbers: every stream is a pure function of
-        // (seed, day, window, user) and shared by all groups.
-        const SessionKey key{cfg.seed, day, window, user};
-        const UserEnvironment env = population.environment_for(key);
-        SessionScratch& s = scratch[slot];
-        population.trace_for_into(env, key, s.trace_scratch, s.trace);
-        // Fault injection rides the dedicated kFaults substream: with an
-        // empty plan this is a no-op and nothing downstream changes byte
-        // for byte.
-        const bool faulted = population.has_faults();
-        if (faulted) population.inject_faults(key, s.fault_scratch, s.trace);
-        const SessionSpec spec = session_for(library, cfg.workload, key);
-        const media::Video& video = library.at(spec.video_index);
-
-        sim::PlayerConfig player = cfg.player;
-        player.watch_duration_s = spec.watch_duration_s;
-        if (faulted) player.faults = &s.fault_scratch.events;
-
-        // One sampling decision per task, shared by every group: the
-        // control and treatment timelines of a sampled session land
-        // side by side in the trace, which is what makes the A/B
-        // comparison of a single environment readable.
-        const bool traced =
-            tracer != nullptr && tracer->sampled(cfg.seed, day, window, user);
-
-        for (std::size_t g = 0; g < n_groups; ++g) {
-          std::unique_ptr<abr::RateAdaptation> fresh;
-          abr::RateAdaptation* algorithm;
-          if (groups[g].reuse_instances) {
-            if (s.abrs[g] == nullptr) s.abrs[g] = groups[g].factory();
-            algorithm = s.abrs[g].get();
-          } else {
-            fresh = groups[g].factory();
-            algorithm = fresh.get();
-          }
-          BBA_ASSERT(algorithm != nullptr, "group factory returned null");
-          // Unsampled sessions run at full speed with the plain sink; the
-          // anomaly trigger is evaluated post hoc on the finished metrics
-          // (the exact predicate the trace sink applies to its own event
-          // stream). simulate_session is a pure function of its inputs --
-          // it resets the ABR on entry -- so the rare session that needs
-          // capturing is simply re-simulated with the tee attached,
-          // reproducing the identical timeline. Tracing therefore costs
-          // the unsampled, healthy majority nothing per event.
-          bool need_tee = traced;
-          bool replay = false;
-          if (tracer != nullptr && !need_tee) {
-            sim::simulate_session(video, s.trace, *algorithm, player, s.sink);
-            const sim::SessionMetrics& m = s.sink.metrics();
-            const obs::TraceConfig& tc = tracer->config();
-            need_tee = tc.anomalies_enabled() &&
-                       (m.rebuffer_s >= tc.anomaly_rebuffer_s ||
-                        (tc.capture_abandoned && m.abandoned));
-            replay = need_tee;
-          }
-          if (tracer != nullptr && need_tee) {
-            // A replay mutes the metrics registry so the re-simulated
-            // session is not double-counted.
-            obs::SlotBinding mute(replay ? nullptr : registry, slot);
-            if (s.trace_sink == nullptr) s.trace_sink = tracer->make_sink();
-            s.trace_sink->begin(tracer->config(), cfg.seed, day, window,
-                                user, groups[g].name, traced);
-            if (faulted) {
-              s.trace_sink->set_faults(&s.fault_scratch.events,
-                                       s.trace.cycle_duration_s(),
-                                       s.trace.loops());
-            }
-            sim::TeeSink tee(s.sink, *s.trace_sink);
-            sim::simulate_session(video, s.trace, *algorithm, player, tee);
-            TaskTrace& tt = task_trace[task];
-            if (s.trace_sink->finish(&tt.lines)) {
-              ++tt.emitted;
-              if (s.trace_sink->anomalous()) ++tt.anomalies;
-            }
-          } else if (tracer == nullptr) {
-            sim::simulate_session(video, s.trace, *algorithm, player, s.sink);
-          }
-          metrics[task * n_groups + g] = s.sink.metrics();
-        }
-      },
-      [&](std::size_t task) {
-        const std::size_t day = task / per_day;
-        const std::size_t window = (task % per_day) / cfg.sessions_per_window;
-        for (std::size_t g = 0; g < n_groups; ++g) {
-          accumulate(result.cells[g][day][window],
-                     metrics[task * n_groups + g]);
-        }
-        if (tracer != nullptr) {
-          TaskTrace& tt = task_trace[task];
-          for (std::uint32_t i = 0; i < tt.emitted; ++i) {
-            tracer->note_session(i < tt.anomalies);
-          }
-          if (!tt.lines.empty()) {
-            tracer->write(tt.lines);
-            tt.lines.clear();
-            tt.lines.shrink_to_fit();
-          }
-        }
-      });
-  if (tracer != nullptr) tracer->flush();
+  SessionBlockRunner runner(groups, library, cfg);
+  runner.run(keys, [&](std::size_t i, std::size_t g,
+                       const sim::SessionMetrics& m) {
+    accumulate_session(result.cells[g][keys[i].day][keys[i].window], m);
+  });
+  runner.finish();
   return result;
 }
 

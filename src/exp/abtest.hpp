@@ -18,6 +18,7 @@
 #include "exp/population.hpp"
 #include "exp/workload.hpp"
 #include "media/video.hpp"
+#include "sim/metrics.hpp"
 #include "sim/player.hpp"
 
 namespace bba::exp {
@@ -115,6 +116,11 @@ struct AbTestResult {
 AbTestResult run_ab_test(const std::vector<Group>& groups,
                          const media::VideoLibrary& library,
                          const AbTestConfig& cfg);
+
+/// Accumulates one finished session into a window cell (play-time-weighted
+/// rate averages, steady-state weighting by steady-eligible hours). The
+/// fold both run_ab_test and the sequential engine (src/seq) apply.
+void accumulate_session(WindowMetrics& cell, const sim::SessionMetrics& m);
 
 /// Convenience factories for the standard groups.
 AbrFactory make_control_factory();

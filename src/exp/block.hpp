@@ -1,0 +1,67 @@
+// Reusable session-block execution: the parallel-map + ordered-fold core
+// of the A/B harness, factored out of run_ab_test so fixed-budget runs and
+// the sequential experiment engine (src/seq) share one implementation.
+//
+// A SessionBlockRunner owns everything that persists across blocks -- the
+// executor and its per-thread scratch, the population sampler, the reused
+// ABR instances, the trace-collector integration -- and simulates any list
+// of session keys on demand. Each key is streamed by every group under
+// common random numbers, exactly as in run_ab_test, and the per-session
+// metrics are folded in canonical (key, group) order on the calling
+// thread. The output is therefore a pure function of the keys and the
+// config: bit-identical at any thread count, and identical whether the
+// keys arrive in one block or split across many (which is what makes
+// adaptive batching in src/seq safe).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "exp/abtest.hpp"
+#include "exp/session_key.hpp"
+#include "media/video.hpp"
+#include "sim/metrics.hpp"
+
+namespace bba::exp {
+
+class SessionBlockRunner {
+ public:
+  /// Captures the groups, library, and config by value/reference; the
+  /// library must outlive the runner. Obs instruments are picked up from
+  /// obs::global() at construction, like run_ab_test.
+  SessionBlockRunner(const std::vector<Group>& groups,
+                     const media::VideoLibrary& library,
+                     const AbTestConfig& cfg);
+  ~SessionBlockRunner();
+
+  SessionBlockRunner(const SessionBlockRunner&) = delete;
+  SessionBlockRunner& operator=(const SessionBlockRunner&) = delete;
+
+  std::size_t num_groups() const;
+  std::size_t threads() const;
+  const Population& population() const;
+
+  /// Receives the finished metrics of (keys[key_index], group), invoked
+  /// sequentially on the calling thread in ascending (key_index, group)
+  /// order.
+  using Fold = std::function<void(std::size_t key_index, std::size_t group,
+                                  const sim::SessionMetrics&)>;
+
+  /// Simulates every key with every group (parallel map over keys), then
+  /// folds in canonical order. Safe to call repeatedly; session traces are
+  /// appended block by block in call order.
+  void run(std::span<const SessionKey> keys, const Fold& fold);
+
+  /// Flushes the trace collector. Call once after the last block (and
+  /// before reading the trace file); run_ab_test and the sequential engine
+  /// both do.
+  void finish();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace bba::exp

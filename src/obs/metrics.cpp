@@ -26,6 +26,9 @@ const char* counter_name(Counter c) {
     case Counter::kCursorRewinds: return "cursor_rewinds";
     case Counter::kPoolLoops: return "pool_loops";
     case Counter::kPoolChunksClaimed: return "pool_chunks_claimed";
+    case Counter::kSeqBatches: return "seq_batches";
+    case Counter::kSeqSessions: return "seq_sessions";
+    case Counter::kSeqSessionsSaved: return "seq_sessions_saved";
     case Counter::kCount: break;
   }
   return "unknown";

@@ -48,6 +48,9 @@ enum class Counter : std::size_t {
   kCursorRewinds,         ///< lookups that fell back to binary search
   kPoolLoops,             ///< parallel_for participations (per thread)
   kPoolChunksClaimed,     ///< grain-sized index chunks claimed
+  kSeqBatches,            ///< sequential-engine rounds (batches) run
+  kSeqSessions,           ///< sessions the sequential engine simulated
+  kSeqSessionsSaved,      ///< budget sessions early stopping skipped
   kCount
 };
 

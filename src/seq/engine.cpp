@@ -1,0 +1,350 @@
+#include "seq/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "exp/block.hpp"
+#include "exp/population.hpp"
+#include "exp/session_key.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/profile.hpp"
+#include "stats/ttest.hpp"
+#include "util/assert.hpp"
+
+namespace bba::seq {
+
+namespace {
+
+/// JSON-appends a double with the %.10g convention the trace sinks use.
+/// Deterministic: the engine's values are bit-identical at any thread
+/// count, so the rendered bytes are too.
+void append_double(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  out += buf;
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+/// The canonical key sequence: the (day, window) grid walked session-major
+/// -- index i covers user i / (days*windows) of cell i % (days*windows).
+/// Every window fills evenly (like the fixed harness) and the sequence
+/// extends past the fixed-budget grid without bound, so reallocated budget
+/// simply draws deeper user indices. Pure function of i: batch membership
+/// can never depend on wall clock or thread timing.
+exp::SessionKey key_at(std::uint64_t seed, std::size_t days, std::size_t i) {
+  const std::size_t cells = days * exp::kWindowsPerDay;
+  const std::size_t user = i / cells;
+  const std::size_t rem = i % cells;
+  return exp::SessionKey{seed, rem / exp::kWindowsPerDay,
+                         rem % exp::kWindowsPerDay, user};
+}
+
+/// Metric value of one finished session, through the same window-cell
+/// accessor the fixed-budget reports use.
+double session_value(const exp::MetricDef& def, const sim::SessionMetrics& m) {
+  exp::WindowMetrics one;
+  exp::accumulate_session(one, m);
+  return def.get(one);
+}
+
+struct ArmState {
+  std::size_t group = 0;        ///< index into the groups vector
+  bool is_baseline = false;
+  bool candidate = true;        ///< not yet eliminated
+  std::size_t eliminated_round = 0;
+  stats::Running deltas;        ///< signed per-session deltas vs baseline
+  double lo = 0.0;              ///< CI at the last completed round
+  double hi = 0.0;
+};
+
+/// CI half-width on the mean paired delta: Student-t at the arm's own df.
+double ci_half_width(const stats::Running& r, double confidence) {
+  if (r.count() < 2) return 0.0;
+  const double var = r.variance();
+  if (var <= 0.0) return 0.0;
+  const double n = static_cast<double>(r.count());
+  return stats::student_t_critical(n - 1.0, confidence) *
+         std::sqrt(var / n);
+}
+
+}  // namespace
+
+bool seq_metric_by_name(const std::string& name, SeqMetric* out) {
+  if (name == "rebuffers") {
+    *out = {exp::rebuffers_per_hour_metric(), /*higher_is_better=*/false};
+  } else if (name == "rate") {
+    *out = {exp::avg_rate_kbps_metric(), true};
+  } else if (name == "steady") {
+    *out = {exp::steady_rate_kbps_metric(), true};
+  } else if (name == "startup") {
+    *out = {exp::startup_rate_kbps_metric(), true};
+  } else if (name == "switches") {
+    *out = {exp::switches_per_hour_metric(), false};
+  } else {
+    return false;
+  }
+  return true;
+}
+
+SeqResult run_sequential(const std::vector<exp::Group>& groups,
+                         const media::VideoLibrary& library,
+                         const exp::AbTestConfig& cfg,
+                         const SeqMetric& metric, const SeqConfig& seq) {
+  BBA_ASSERT(groups.size() >= 2, "sequential runs need >= 2 arms");
+  BBA_ASSERT(seq.baseline < groups.size(), "baseline index out of range");
+  BBA_ASSERT(seq.confidence > 0.0 && seq.confidence < 1.0,
+             "confidence must lie in (0, 1)");
+  BBA_ASSERT(seq.batch_sessions >= 1, "batch_sessions must be >= 1");
+  BBA_ASSERT(cfg.days >= 1 && cfg.sessions_per_window >= 1,
+             "experiment dimensions must be >= 1");
+
+  obs::Observability* o = obs::global();
+  obs::Profiler* profiler = o != nullptr ? o->profiler.get() : nullptr;
+  obs::ScopedTimer run_span(profiler, 0, "run_sequential");
+
+  const std::size_t n_arms = groups.size();
+  const double direction = metric.higher_is_better ? 1.0 : -1.0;
+
+  SeqResult result;
+  result.budget_sessions =
+      seq.budget_sessions != 0
+          ? seq.budget_sessions
+          : n_arms * cfg.sessions_per_window * cfg.days * exp::kWindowsPerDay;
+  result.cells.group_names.reserve(n_arms);
+  for (const auto& g : groups) result.cells.group_names.push_back(g.name);
+  result.cells.cells.assign(
+      n_arms, std::vector<std::vector<exp::WindowMetrics>>(
+                  cfg.days, std::vector<exp::WindowMetrics>(
+                                exp::kWindowsPerDay)));
+
+  std::vector<ArmState> arms(n_arms);
+  for (std::size_t a = 0; a < n_arms; ++a) {
+    arms[a].group = a;
+    arms[a].is_baseline = a == seq.baseline;
+  }
+
+  // Arms currently simulated: every candidate plus the baseline (the
+  // baseline keeps streaming even after it is ruled out as the winner --
+  // every delta is paired against it). Rebuilt after each elimination.
+  auto simulated_arms = [&] {
+    std::vector<std::size_t> sim;
+    for (std::size_t a = 0; a < n_arms; ++a) {
+      if (arms[a].candidate || arms[a].is_baseline) sim.push_back(a);
+    }
+    return sim;
+  };
+
+  std::vector<std::size_t> sim = simulated_arms();
+  std::unique_ptr<exp::SessionBlockRunner> runner;
+  auto rebuild_runner = [&] {
+    std::vector<exp::Group> active;
+    active.reserve(sim.size());
+    for (std::size_t a : sim) active.push_back(groups[a]);
+    runner = std::make_unique<exp::SessionBlockRunner>(active, library, cfg);
+  };
+  rebuild_runner();
+
+  std::size_t next_key = 0;  ///< cursor into the canonical key sequence
+  std::vector<exp::SessionKey> keys;
+  std::vector<double> row;  ///< per-key metric values, sim order
+
+  auto candidate_count = [&] {
+    std::size_t n = 0;
+    for (const auto& a : arms) n += a.candidate ? 1 : 0;
+    return n;
+  };
+
+  // The leader: best mean among candidates, ties to the lowest index.
+  auto leader_of = [&]() -> std::size_t {
+    std::size_t best = n_arms;
+    for (std::size_t a = 0; a < n_arms; ++a) {
+      if (!arms[a].candidate) continue;
+      if (best == n_arms || arms[a].deltas.mean() > arms[best].deltas.mean())
+        best = a;
+    }
+    return best;
+  };
+
+  std::string stop_reason;  // empty while running
+  while (true) {
+    // A round costs one session per simulated arm per key; the integer
+    // division below IS the deterministic budget reallocation -- freezing
+    // an arm shrinks sim.size() and buys the survivors more keys.
+    const std::size_t affordable =
+        (result.budget_sessions - result.sessions_used) / sim.size();
+    const std::size_t n_keys = std::min(seq.batch_sessions, affordable);
+    if (n_keys == 0) {
+      stop_reason = "budget";
+      break;
+    }
+    ++result.rounds;
+
+    keys.clear();
+    for (std::size_t i = 0; i < n_keys; ++i) {
+      keys.push_back(key_at(cfg.seed, cfg.days, next_key + i));
+    }
+    next_key += n_keys;
+    result.sessions_used += n_keys * sim.size();
+
+    std::size_t baseline_pos = 0;
+    for (std::size_t p = 0; p < sim.size(); ++p) {
+      if (sim[p] == seq.baseline) baseline_pos = p;
+    }
+    row.assign(sim.size(), 0.0);
+    runner->run(keys, [&](std::size_t i, std::size_t g,
+                          const sim::SessionMetrics& m) {
+      const std::size_t arm = sim[g];
+      exp::accumulate_session(
+          result.cells.cells[arm][keys[i].day][keys[i].window], m);
+      row[g] = session_value(metric.def, m);
+      if (g + 1 == sim.size()) {
+        const double base = row[baseline_pos];
+        for (std::size_t p = 0; p < sim.size(); ++p) {
+          arms[sim[p]].deltas.add(direction * (row[p] - base));
+        }
+      }
+    });
+
+    // Refresh every simulated arm's CI at the configured confidence.
+    for (std::size_t a : sim) {
+      const double half = ci_half_width(arms[a].deltas, seq.confidence);
+      arms[a].lo = arms[a].deltas.mean() - half;
+      arms[a].hi = arms[a].deltas.mean() + half;
+    }
+
+    // Successive elimination: only after min_batches rounds, and only with
+    // two observations per arm (a one-round CI exists but min_batches
+    // gates how early we are willing to act on it).
+    std::vector<std::size_t> eliminated_now;
+    const std::size_t leader = leader_of();
+    if (result.rounds >= seq.min_batches && arms[leader].deltas.count() >= 2) {
+      for (std::size_t a = 0; a < n_arms; ++a) {
+        if (!arms[a].candidate || a == leader) continue;
+        if (arms[a].hi < arms[leader].lo) {
+          arms[a].candidate = false;
+          arms[a].eliminated_round = result.rounds;
+          eliminated_now.push_back(a);
+        }
+      }
+    }
+    if (candidate_count() <= 1) stop_reason = "winner";
+    // Budget check against NEXT round's cost: eliminations this round
+    // already shrink the simulated set.
+    std::size_t next_sim_count = 0;
+    for (const auto& a : arms) {
+      next_sim_count += (a.candidate || a.is_baseline) ? 1 : 0;
+    }
+    const bool out_of_budget =
+        (result.budget_sessions - result.sessions_used) < next_sim_count;
+    if (stop_reason.empty() && out_of_budget) stop_reason = "budget";
+
+    // One decision-log line per round: the full per-arm state, this
+    // round's eliminations, the budget position, and the stop verdict
+    // (null while the run continues).
+    std::string& log = result.decision_log;
+    log += "{\"round\":";
+    append_u64(log, result.rounds);
+    log += ",\"keys\":";
+    append_u64(log, n_keys);
+    log += ",\"sessions_used\":";
+    append_u64(log, result.sessions_used);
+    log += ",\"budget\":";
+    append_u64(log, result.budget_sessions);
+    log += ",\"arms\":[";
+    for (std::size_t a = 0; a < n_arms; ++a) {
+      if (a != 0) log += ',';
+      log += "{\"name\":\"";
+      log += groups[a].name;
+      log += "\",\"n\":";
+      append_u64(log, static_cast<std::uint64_t>(arms[a].deltas.count()));
+      log += ",\"mean\":";
+      append_double(log, arms[a].deltas.mean());
+      log += ",\"lo\":";
+      append_double(log, arms[a].lo);
+      log += ",\"hi\":";
+      append_double(log, arms[a].hi);
+      log += ",\"active\":";
+      log += arms[a].candidate ? "true" : "false";
+      if (arms[a].is_baseline) log += ",\"baseline\":true";
+      log += '}';
+    }
+    log += "],\"leader\":\"";
+    log += groups[leader].name;
+    log += "\",\"eliminated\":[";
+    for (std::size_t i = 0; i < eliminated_now.size(); ++i) {
+      if (i != 0) log += ',';
+      log += '"';
+      log += groups[eliminated_now[i]].name;
+      log += '"';
+    }
+    log += "],\"stop\":";
+    if (stop_reason.empty()) {
+      log += "null";
+    } else {
+      log += '"';
+      log += stop_reason;
+      log += '"';
+    }
+    log += "}\n";
+
+    if (!stop_reason.empty()) break;
+    if (!eliminated_now.empty()) {
+      runner->finish();
+      sim = simulated_arms();
+      rebuild_runner();
+    }
+  }
+  runner->finish();
+
+  result.verdict = stop_reason;
+  const std::size_t winner = leader_of();
+  result.winner = winner < n_arms ? groups[winner].name : std::string();
+
+  // Final verdict line: what a dashboard (or the seq-smoke CI job) reads.
+  std::string& log = result.decision_log;
+  log += "{\"verdict\":\"";
+  log += result.verdict;
+  log += "\",\"winner\":\"";
+  log += result.winner;
+  log += "\",\"rounds\":";
+  append_u64(log, result.rounds);
+  log += ",\"sessions_used\":";
+  append_u64(log, result.sessions_used);
+  log += ",\"budget\":";
+  append_u64(log, result.budget_sessions);
+  log += ",\"saved_frac\":";
+  append_double(log, result.saved_fraction());
+  log += "}\n";
+
+  result.arms.resize(n_arms);
+  for (std::size_t a = 0; a < n_arms; ++a) {
+    ArmReport& r = result.arms[a];
+    r.name = groups[a].name;
+    r.is_baseline = arms[a].is_baseline;
+    r.eliminated_round = arms[a].eliminated_round;
+    r.n = arms[a].deltas.count();
+    r.mean = arms[a].deltas.mean();
+    r.lo = arms[a].lo;
+    r.hi = arms[a].hi;
+  }
+
+  // Observability: strictly observational tallies of what adaptivity
+  // bought (no simulation value reads them, so results stay bit-identical
+  // with obs on or off).
+  obs::count(obs::Counter::kSeqBatches, result.rounds);
+  obs::count(obs::Counter::kSeqSessions, result.sessions_used);
+  obs::count(obs::Counter::kSeqSessionsSaved,
+             result.budget_sessions - result.sessions_used);
+  return result;
+}
+
+}  // namespace bba::seq

@@ -1,0 +1,125 @@
+// Sequential experimentation engine: best-arm identification with early
+// stopping over the A/B harness.
+//
+// The paper's headline numbers came from a production pipeline that
+// screened ABR variants over millions of real sessions. A fixed-budget
+// run keeps simulating every arm even when one separated long ago; this
+// engine instead runs sessions in deterministic batches and applies a
+// successive-elimination rule after each batch:
+//
+//   * Every arm streams the same session keys (common random numbers), so
+//     each arm carries a PAIRED per-session delta vs the baseline arm on
+//     the chosen metric. Arm state is an incremental Welford accumulator
+//     (stats::Running) over the signed deltas (sign chosen so larger =
+//     better for every metric).
+//   * After each batch, each active arm gets a Student-t confidence
+//     interval on its mean signed delta at the target confidence. Arms
+//     whose upper bound falls below the leader's lower bound are frozen
+//     (eliminated); the baseline participates as an arm with identically
+//     zero delta, so "worse than baseline at confidence" eliminates too.
+//   * Frozen arms stop consuming sessions: the remaining budget is
+//     deterministically reallocated to the contested arms (a batch costs
+//     `keys x active_arms` sessions, so fewer active arms buy more keys).
+//   * The run stops when one arm survives, or when the remaining budget
+//     cannot afford another key for every active arm.
+//
+// Determinism: batch membership is derived purely from the canonical
+// session-key order (exp::SessionKey grid walked session-major), never
+// from wall clock or thread timing, and each batch folds in key order via
+// exp::SessionBlockRunner. The decision log is therefore byte-identical
+// at any thread count (enforced by tests/test_seq.cpp and the seq-smoke
+// CI job).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exp/abtest.hpp"
+#include "exp/report.hpp"
+#include "media/video.hpp"
+#include "stats/descriptive.hpp"
+
+namespace bba::seq {
+
+/// The decision metric: a window-cell accessor plus its direction.
+struct SeqMetric {
+  exp::MetricDef def;
+  bool higher_is_better = false;
+};
+
+/// Metric by CLI name (rebuffers|rate|steady|startup|switches) with the
+/// natural direction (rebuffers/switches: lower is better; rates: higher).
+/// Returns false and leaves `out` untouched for an unknown name.
+bool seq_metric_by_name(const std::string& name, SeqMetric* out);
+
+/// Engine knobs, on top of the shared exp::AbTestConfig dimensions.
+struct SeqConfig {
+  /// Session keys simulated per round; every active arm streams each key,
+  /// so one round costs `batch_sessions * active_arms` budget sessions.
+  std::size_t batch_sessions = 120;
+  /// Elimination confidence (two-sided CI level), in (0, 1).
+  double confidence = 0.95;
+  /// Rounds before the first elimination check -- guards against freezing
+  /// an arm off a handful of lucky sessions.
+  std::size_t min_batches = 2;
+  /// Total session budget across all arms. 0 derives the fixed-budget
+  /// equivalent: groups * sessions_per_window * days * kWindowsPerDay --
+  /// i.e. exactly what run_ab_test with the same AbTestConfig would
+  /// simulate.
+  std::size_t budget_sessions = 0;
+  /// Index into the groups vector of the baseline (normalization) arm.
+  std::size_t baseline = 0;
+};
+
+/// Final state of one arm.
+struct ArmReport {
+  std::string name;
+  bool is_baseline = false;
+  /// Round the arm was frozen in (1-based); 0 = survived to the end.
+  std::size_t eliminated_round = 0;
+  /// Paired per-session deltas observed and the CI on their mean (signed:
+  /// positive = better than baseline), at the configured confidence.
+  long long n = 0;
+  double mean = 0.0;
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+/// Full sequential run output.
+struct SeqResult {
+  std::vector<ArmReport> arms;          ///< group order
+  std::string winner;                   ///< leader at stop
+  std::string verdict;                  ///< "winner" or "budget"
+  std::size_t rounds = 0;
+  std::size_t sessions_used = 0;
+  std::size_t budget_sessions = 0;
+  /// Per-arm (day, window) cells over the sessions that arm actually ran
+  /// -- same shape as AbTestResult, arms that froze early simply carry
+  /// fewer sessions.
+  exp::AbTestResult cells;
+  /// One JSONL line per round plus a final verdict line
+  /// (docs/sequential.md has the schema). Byte-identical at any
+  /// --threads.
+  std::string decision_log;
+
+  bool stopped_early() const { return sessions_used < budget_sessions; }
+  double saved_fraction() const {
+    return budget_sessions > 0
+               ? 1.0 - static_cast<double>(sessions_used) /
+                           static_cast<double>(budget_sessions)
+               : 0.0;
+  }
+};
+
+/// Runs the sequential experiment. `cfg` supplies the population,
+/// workload, player, seed, threads, and the fixed-budget-equivalent
+/// dimensions (sessions_per_window, days); `seq` the engine knobs.
+/// Requires >= 2 groups, seq.baseline < groups.size(), confidence in
+/// (0, 1), batch_sessions >= 1.
+SeqResult run_sequential(const std::vector<exp::Group>& groups,
+                         const media::VideoLibrary& library,
+                         const exp::AbTestConfig& cfg,
+                         const SeqMetric& metric, const SeqConfig& seq);
+
+}  // namespace bba::seq

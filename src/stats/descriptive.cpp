@@ -83,6 +83,15 @@ void Running::merge(const Running& other) {
   n_ += other.n_;
 }
 
+Running Running::from_moments(long long n, double mean, double m2) {
+  BBA_ASSERT(n >= 0 && m2 >= 0.0, "from_moments() requires n, m2 >= 0");
+  Running r;
+  r.n_ = n;
+  r.mean_ = mean;
+  r.m2_ = m2;
+  return r;
+}
+
 double Running::variance() const {
   if (n_ < 2) return 0.0;
   return m2_ / static_cast<double>(n_ - 1);

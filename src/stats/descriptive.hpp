@@ -46,6 +46,12 @@ class Running {
   double variance() const;
   double stddev() const;
 
+  /// Centered sum of squares (the raw Welford M2 state). Together with
+  /// count() and mean() this is the full accumulator state; from_moments
+  /// reconstructs it (checkpointing, cross-process merges).
+  double m2() const { return m2_; }
+  static Running from_moments(long long n, double mean, double m2);
+
  private:
   long long n_ = 0;
   double mean_ = 0.0;

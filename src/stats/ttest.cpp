@@ -88,33 +88,85 @@ double student_t_two_sided_p(double t, double df) {
   return incomplete_beta(df / 2.0, 0.5, x);
 }
 
-TTestResult welch_t_test(std::span<const double> a,
-                         std::span<const double> b) {
-  BBA_ASSERT(a.size() >= 2 && b.size() >= 2,
-             "welch_t_test() requires n >= 2 in both samples");
-  const double ma = mean(a);
-  const double mb = mean(b);
-  const double va = variance(a);
-  const double vb = variance(b);
-  const auto na = static_cast<double>(a.size());
-  const auto nb = static_cast<double>(b.size());
+double student_t_critical(double df, double confidence) {
+  BBA_ASSERT(df > 0.0, "student_t_critical() requires df > 0");
+  BBA_ASSERT(confidence > 0.0 && confidence < 1.0,
+             "student_t_critical() requires confidence in (0, 1)");
+  const double alpha = 1.0 - confidence;
+  // student_t_two_sided_p is monotone decreasing in t >= 0: bracket the
+  // root, then bisect. 200 iterations leave the bracket far below any
+  // representable difference.
+  double lo = 0.0;
+  double hi = 1.0;
+  while (student_t_two_sided_p(hi, df) > alpha) {
+    hi *= 2.0;
+    if (hi > 1e12) return hi;  // alpha below numeric resolution
+  }
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (mid == lo || mid == hi) break;
+    if (student_t_two_sided_p(mid, df) > alpha) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
 
+namespace {
+
+/// Shared core: Welch's test from sufficient statistics.
+TTestResult welch_from_moments(double ma, double va, double na, double mb,
+                               double vb, double nb, double confidence) {
+  BBA_ASSERT(confidence > 0.0 && confidence < 1.0,
+             "welch_t_test() requires confidence in (0, 1)");
   TTestResult result;
+  result.confidence = confidence;
+  result.mean_diff = ma - mb;
   const double se2 = va / na + vb / nb;
   if (se2 <= 0.0) {
     // Degenerate samples: identical constants.
     result.t = (ma == mb) ? 0.0 : std::numeric_limits<double>::infinity();
     result.df = na + nb - 2.0;
     result.p_value = (ma == mb) ? 1.0 : 0.0;
+    result.ci_lo = result.mean_diff;
+    result.ci_hi = result.mean_diff;
     return result;
   }
-  result.t = (ma - mb) / std::sqrt(se2);
+  const double se = std::sqrt(se2);
+  result.t = (ma - mb) / se;
   const double num = se2 * se2;
   const double den = (va / na) * (va / na) / (na - 1.0) +
                      (vb / nb) * (vb / nb) / (nb - 1.0);
   result.df = num / den;
   result.p_value = student_t_two_sided_p(result.t, result.df);
+  const double half = student_t_critical(result.df, confidence) * se;
+  result.ci_lo = result.mean_diff - half;
+  result.ci_hi = result.mean_diff + half;
   return result;
+}
+
+}  // namespace
+
+TTestResult welch_t_test(std::span<const double> a, std::span<const double> b,
+                         double confidence) {
+  BBA_ASSERT(a.size() >= 2 && b.size() >= 2,
+             "welch_t_test() requires n >= 2 in both samples");
+  return welch_from_moments(mean(a), variance(a),
+                            static_cast<double>(a.size()), mean(b),
+                            variance(b), static_cast<double>(b.size()),
+                            confidence);
+}
+
+TTestResult welch_t_test(const Running& a, const Running& b,
+                         double confidence) {
+  BBA_ASSERT(a.count() >= 2 && b.count() >= 2,
+             "welch_t_test() requires n >= 2 in both samples");
+  return welch_from_moments(a.mean(), a.variance(),
+                            static_cast<double>(a.count()), b.mean(),
+                            b.variance(), static_cast<double>(b.count()),
+                            confidence);
 }
 
 }  // namespace bba::stats

@@ -9,6 +9,8 @@
 
 #include <span>
 
+#include "stats/descriptive.hpp"
+
 namespace bba::stats {
 
 /// Result of a Welch two-sample t-test.
@@ -16,6 +18,13 @@ struct TTestResult {
   double t = 0.0;        ///< t statistic
   double df = 0.0;       ///< Welch-Satterthwaite degrees of freedom
   double p_value = 1.0;  ///< two-sided p-value
+  double mean_diff = 0.0;  ///< mean(a) - mean(b)
+  /// Two-sided confidence interval on mean(a) - mean(b) at `confidence`
+  /// (the level passed to welch_t_test, default 0.95). Degenerate samples
+  /// (both variances zero) collapse the interval to the point estimate.
+  double ci_lo = 0.0;
+  double ci_hi = 0.0;
+  double confidence = 0.95;  ///< level the interval was computed at
   /// True if the null (equal means) is rejected at the given alpha.
   bool significant(double alpha = 0.05) const { return p_value < alpha; }
 };
@@ -28,9 +37,24 @@ double incomplete_beta(double a, double b, double x);
 /// freedom.
 double student_t_two_sided_p(double t, double df);
 
+/// Critical value t* with P(|T| > t*) = 1 - confidence for Student-t with
+/// df degrees of freedom (e.g. df=10, confidence=0.95 -> ~2.228). Found by
+/// bisection on student_t_two_sided_p; confidence must lie in (0, 1).
+double student_t_critical(double df, double confidence);
+
 /// Welch's t-test for unequal variances. Requires both samples to have at
 /// least two elements; returns p=1 when either variance is zero and the
-/// means coincide.
-TTestResult welch_t_test(std::span<const double> a, std::span<const double> b);
+/// means coincide. `confidence` sets the level of the mean-difference
+/// interval in the result.
+TTestResult welch_t_test(std::span<const double> a, std::span<const double> b,
+                         double confidence = 0.95);
+
+/// Incremental variant: the same test computed from two Welford
+/// accumulators (stats::Running), so callers that stream observations --
+/// the sequential experiment engine in src/seq -- never materialize the
+/// samples. Bit-identical to the span overload only up to the accumulation
+/// order; both require count() >= 2 on each side.
+TTestResult welch_t_test(const Running& a, const Running& b,
+                         double confidence = 0.95);
 
 }  // namespace bba::stats

@@ -4,10 +4,15 @@
 //              [--seed S] [--threads N]
 //              [--metric rebuffers|rate|steady|startup|switches]
 //              [--baseline GROUP] [--csv PREFIX]
+//              [--sequential] [--batch-sessions N] [--confidence C]
+//              [--min-batches K] [--seq-log FILE]
 //
 // Groups: control, throughput, pid, elastic, rmin-always, bba0, bba1,
 // bba2, bba-others. Prints the per-window table, the normalized summary,
-// and (with --csv) writes plot-ready data.
+// and (with --csv) writes plot-ready data. With --sequential the fixed
+// population is replaced by the best-arm-identification engine
+// (docs/sequential.md): deterministic batches, successive elimination at
+// --confidence, early stop once one arm survives.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -19,6 +24,7 @@
 #include "abr/control.hpp"
 #include "abr/bola.hpp"
 #include "abr/related_work.hpp"
+#include "cli_parse.hpp"
 #include "core/bba0.hpp"
 #include "core/bba1.hpp"
 #include "core/bba2.hpp"
@@ -30,6 +36,7 @@
 #include "net/estimators.hpp"
 #include "net/fault_inject.hpp"
 #include "obs/setup.hpp"
+#include "seq/engine.hpp"
 
 namespace {
 
@@ -87,10 +94,25 @@ void usage(const char* argv0) {
       "                          e.g. 'outage:every=300,dur=20..35;spike:\n"
       "                          every=240,depth=0.1..0.3'; docs/faults.md.\n"
       "                          Default: $BBA_FAULTS, else off)\n"
+      "          [--sequential]  (best-arm identification with early\n"
+      "                          stopping, docs/sequential.md; the fixed\n"
+      "                          budget is groups*sessions*days*12)\n"
+      "          [--batch-sessions N] (keys per round, default 120)\n"
+      "          [--confidence C] (elimination confidence in (0,1),\n"
+      "                          default 0.95)\n"
+      "          [--min-batches K] (rounds before eliminating, default 2)\n"
+      "          [--seq-log FILE] (decision log JSONL; default stdout)\n"
       "%s"
       "groups: control throughput pid elastic bola rmin-always bba0 bba1 "
       "bba2 bba-others\n",
       argv0, bba::obs::ObsOptions::usage());
+}
+
+/// Prints "--flag: expects DETAIL, got 'VALUE'" and exits 2.
+[[noreturn]] void bad_value(const char* flag, const char* detail,
+                            const char* value) {
+  std::fprintf(stderr, "%s: expects %s, got '%s'\n", flag, detail, value);
+  std::exit(2);
 }
 
 }  // namespace
@@ -103,6 +125,9 @@ int main(int argc, char** argv) {
   std::string baseline = "control";
   std::string csv_prefix;
   std::string faults_spec;
+  bool sequential = false;
+  seq::SeqConfig seq_cfg;
+  std::string seq_log_path;
   if (const char* env = std::getenv("BBA_FAULTS")) faults_spec = env;
   obs::ObsOptions obs_opts = obs::ObsOptions::from_env();
 
@@ -119,14 +144,25 @@ int main(int argc, char** argv) {
     if (arg == "--groups") {
       group_names = split_csv(next("--groups"));
     } else if (arg == "--sessions") {
-      cfg.sessions_per_window =
-          static_cast<std::size_t>(std::atoi(next("--sessions")));
+      const char* v = next("--sessions");
+      if (!tools::parse_count(v, &cfg.sessions_per_window)) {
+        bad_value("--sessions", "a positive session count", v);
+      }
     } else if (arg == "--days") {
-      cfg.days = static_cast<std::size_t>(std::atoi(next("--days")));
+      const char* v = next("--days");
+      if (!tools::parse_count(v, &cfg.days)) {
+        bad_value("--days", "a positive day count", v);
+      }
     } else if (arg == "--seed") {
-      cfg.seed = static_cast<std::uint64_t>(std::atoll(next("--seed")));
+      const char* v = next("--seed");
+      if (!tools::parse_u64(v, &cfg.seed)) {
+        bad_value("--seed", "an unsigned integer", v);
+      }
     } else if (arg == "--threads") {
-      cfg.threads = static_cast<std::size_t>(std::atoi(next("--threads")));
+      const char* v = next("--threads");
+      if (!tools::parse_count0(v, &cfg.threads)) {
+        bad_value("--threads", "a thread count >= 0 (0 = hardware)", v);
+      }
     } else if (arg == "--metric") {
       metric_name = next("--metric");
     } else if (arg == "--baseline") {
@@ -135,13 +171,37 @@ int main(int argc, char** argv) {
       csv_prefix = next("--csv");
     } else if (arg == "--faults") {
       faults_spec = next("--faults");
+    } else if (arg == "--sequential") {
+      sequential = true;
+    } else if (arg == "--batch-sessions") {
+      const char* v = next("--batch-sessions");
+      if (!tools::parse_count(v, &seq_cfg.batch_sessions)) {
+        bad_value("--batch-sessions", "a positive key count", v);
+      }
+    } else if (arg == "--confidence") {
+      const char* v = next("--confidence");
+      if (!tools::parse_unit_open(v, &seq_cfg.confidence)) {
+        bad_value("--confidence", "a number in (0, 1)", v);
+      }
+    } else if (arg == "--min-batches") {
+      const char* v = next("--min-batches");
+      if (!tools::parse_count(v, &seq_cfg.min_batches)) {
+        bad_value("--min-batches", "a positive round count", v);
+      }
+    } else if (arg == "--seq-log") {
+      seq_log_path = next("--seq-log");
     } else {
       usage(argv[0]);
       return arg == "--help" || arg == "-h" ? 0 : 2;
     }
   }
-  if (cfg.sessions_per_window == 0 || cfg.days == 0 || group_names.empty()) {
+  if (group_names.empty() ||
+      (group_names.size() == 1 && group_names[0].empty())) {
     usage(argv[0]);
+    return 2;
+  }
+  if (sequential && group_names.size() < 2) {
+    std::fprintf(stderr, "--sequential needs at least two groups\n");
     return 2;
   }
   std::string faults_error;
@@ -161,29 +221,82 @@ int main(int argc, char** argv) {
     groups.push_back({name, std::move(factory)});
   }
 
-  exp::MetricDef metric;
-  if (metric_name == "rebuffers") {
-    metric = exp::rebuffers_per_hour_metric();
-  } else if (metric_name == "rate") {
-    metric = exp::avg_rate_kbps_metric();
-  } else if (metric_name == "steady") {
-    metric = exp::steady_rate_kbps_metric();
-  } else if (metric_name == "startup") {
-    metric = exp::startup_rate_kbps_metric();
-  } else if (metric_name == "switches") {
-    metric = exp::switches_per_hour_metric();
-  } else {
+  seq::SeqMetric seq_metric;
+  if (!seq::seq_metric_by_name(metric_name, &seq_metric)) {
     std::fprintf(stderr, "unknown metric: %s\n", metric_name.c_str());
     return 2;
+  }
+  const exp::MetricDef metric = seq_metric.def;
+
+  const media::VideoLibrary library = media::VideoLibrary::standard(11);
+  obs::ObsScope obs_scope(obs_opts, cfg.threads);
+  if (!obs_scope.ok()) return 1;
+
+  if (sequential) {
+    std::size_t baseline_index = groups.size();
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      if (groups[g].name == baseline) baseline_index = g;
+    }
+    if (baseline_index == groups.size()) {
+      std::fprintf(stderr,
+                   "--sequential needs --baseline to name one of the "
+                   "groups (got '%s')\n",
+                   baseline.c_str());
+      return 2;
+    }
+    seq_cfg.baseline = baseline_index;
+    std::printf("sequential: %zu arms, metric %s, batch %zu keys, "
+                "confidence %.3f, budget %zu sessions (seed %llu)\n\n",
+                groups.size(), metric_name.c_str(), seq_cfg.batch_sessions,
+                seq_cfg.confidence,
+                groups.size() * cfg.sessions_per_window * cfg.days *
+                    exp::kWindowsPerDay,
+                static_cast<unsigned long long>(cfg.seed));
+    const seq::SeqResult sr =
+        seq::run_sequential(groups, library, cfg, seq_metric, seq_cfg);
+
+    std::printf("%-14s %10s %12s %24s  %s\n", "arm", "sessions", "mean d",
+                "CI", "status");
+    for (const auto& arm : sr.arms) {
+      char status[40];
+      if (arm.eliminated_round > 0) {
+        std::snprintf(status, sizeof(status), "eliminated (round %zu)",
+                      arm.eliminated_round);
+      } else {
+        std::snprintf(status, sizeof(status), "%s",
+                      arm.name == sr.winner ? "WINNER" : "contested");
+      }
+      std::printf("%-14s %10lld %12.4f [%10.4f, %10.4f]  %s%s\n",
+                  arm.name.c_str(), arm.n, arm.mean, arm.lo, arm.hi, status,
+                  arm.is_baseline ? " (baseline)" : "");
+    }
+    std::printf("\nverdict: %s, winner %s after %zu rounds; "
+                "%zu / %zu sessions used (%.1f%% saved)\n",
+                sr.verdict.c_str(), sr.winner.c_str(), sr.rounds,
+                sr.sessions_used, sr.budget_sessions,
+                100.0 * sr.saved_fraction());
+    if (!seq_log_path.empty()) {
+      std::FILE* f = std::fopen(seq_log_path.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "could not open %s\n", seq_log_path.c_str());
+        return 1;
+      }
+      std::fputs(sr.decision_log.c_str(), f);
+      std::fclose(f);
+      // stderr, so stdout stays byte-comparable across runs that write
+      // their logs to different paths (the seq-smoke CI job diffs it).
+      std::fprintf(stderr, "wrote decision log to %s\n",
+                   seq_log_path.c_str());
+    } else {
+      std::printf("\ndecision log:\n%s", sr.decision_log.c_str());
+    }
+    return 0;
   }
 
   std::printf("running %zu groups x %zu sessions/window x %zu days "
               "(seed %llu)...\n\n",
               groups.size(), cfg.sessions_per_window, cfg.days,
               static_cast<unsigned long long>(cfg.seed));
-  const media::VideoLibrary library = media::VideoLibrary::standard(11);
-  obs::ObsScope obs_scope(obs_opts, cfg.threads);
-  if (!obs_scope.ok()) return 1;
   const exp::AbTestResult result = exp::run_ab_test(groups, library, cfg);
 
   exp::print_absolute_by_window(result, metric);

@@ -34,6 +34,7 @@
 #include "abr/control.hpp"
 #include "abr/bola.hpp"
 #include "abr/related_work.hpp"
+#include "cli_parse.hpp"
 #include "core/bba0.hpp"
 #include "core/bba1.hpp"
 #include "core/bba2.hpp"
@@ -262,13 +263,35 @@ int main(int argc, char** argv) {
     } else if (arg == "--video") {
       video_path = next("--video");
     } else if (arg == "--watch") {
-      watch_min = std::atof(next("--watch"));
+      const char* v = next("--watch");
+      watch_min = std::atof(v);
+      if (!(watch_min > 0.0)) {
+        std::fprintf(stderr, "--watch: expects positive minutes, got '%s'\n",
+                     v);
+        return 2;
+      }
     } else if (arg == "--median-kbps") {
-      median_kbps = std::atof(next("--median-kbps"));
+      const char* v = next("--median-kbps");
+      median_kbps = std::atof(v);
+      if (!(median_kbps > 0.0)) {
+        std::fprintf(stderr, "--median-kbps: expects a positive rate, "
+                             "got '%s'\n", v);
+        return 2;
+      }
     } else if (arg == "--sigma") {
-      sigma = std::atof(next("--sigma"));
+      const char* v = next("--sigma");
+      sigma = std::atof(v);
+      if (!(sigma >= 0.0)) {
+        std::fprintf(stderr, "--sigma: expects sigma >= 0, got '%s'\n", v);
+        return 2;
+      }
     } else if (arg == "--seed") {
-      seed = static_cast<std::uint64_t>(std::atoll(next("--seed")));
+      const char* v = next("--seed");
+      if (!tools::parse_u64(v, &seed)) {
+        std::fprintf(stderr, "--seed: expects an unsigned integer, "
+                             "got '%s'\n", v);
+        return 2;
+      }
     } else if (arg == "--repro") {
       if (std::sscanf(next("--repro"), "%llu,%llu,%llu", &repro_day,
                       &repro_window, &repro_session) != 3) {

@@ -1,0 +1,53 @@
+// Strict numeric argument parsing shared by the CLI tools.
+//
+// The tools used to funnel flag values through atoi/atof, which silently
+// turns "--sessions -5" into a gigantic size_t and "--confidence pony"
+// into 0.0. These helpers parse the full token or fail, and the callers
+// print a one-line error naming the flag instead of misbehaving.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+
+namespace bba::tools {
+
+/// Unsigned integer, whole token, no sign. Returns false on any trailing
+/// garbage, empty string, or '-'/'+' prefix.
+inline bool parse_u64(const char* s, std::uint64_t* out) {
+  if (s == nullptr || *s == '\0' || *s == '-' || *s == '+') return false;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0') return false;
+  *out = static_cast<std::uint64_t>(v);
+  return true;
+}
+
+/// Count that must be >= 1 (e.g. --sessions, --days, --batch-sessions).
+inline bool parse_count(const char* s, std::size_t* out) {
+  std::uint64_t v = 0;
+  if (!parse_u64(s, &v) || v == 0) return false;
+  *out = static_cast<std::size_t>(v);
+  return true;
+}
+
+/// Count that may be 0 (e.g. --threads, where 0 = hardware concurrency).
+inline bool parse_count0(const char* s, std::size_t* out) {
+  std::uint64_t v = 0;
+  if (!parse_u64(s, &v)) return false;
+  *out = static_cast<std::size_t>(v);
+  return true;
+}
+
+/// Double strictly inside (0, 1) (e.g. --confidence).
+inline bool parse_unit_open(const char* s, double* out) {
+  if (s == nullptr || *s == '\0') return false;
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (end == s || *end != '\0') return false;
+  if (!(v > 0.0 && v < 1.0)) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace bba::tools

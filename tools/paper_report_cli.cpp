@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "cli_parse.hpp"
 #include "exp/abtest.hpp"
 #include "exp/dump.hpp"
 #include "exp/report.hpp"
@@ -83,15 +84,30 @@ int main(int argc, char** argv) {
       }
       return argv[++i];
     };
+    auto parsed = [&](const char* flag, bool ok, const char* value,
+                      const char* detail) {
+      if (!ok) {
+        std::fprintf(stderr, "%s: expects %s, got '%s'\n", flag, detail,
+                     value);
+        std::exit(2);
+      }
+    };
     if (arg == "--sessions") {
-      cfg.sessions_per_window =
-          static_cast<std::size_t>(std::atoi(next("--sessions")));
+      const char* v = next("--sessions");
+      parsed("--sessions", tools::parse_count(v, &cfg.sessions_per_window),
+             v, "a positive session count");
     } else if (arg == "--days") {
-      cfg.days = static_cast<std::size_t>(std::atoi(next("--days")));
+      const char* v = next("--days");
+      parsed("--days", tools::parse_count(v, &cfg.days), v,
+             "a positive day count");
     } else if (arg == "--seed") {
-      cfg.seed = static_cast<std::uint64_t>(std::atoll(next("--seed")));
+      const char* v = next("--seed");
+      parsed("--seed", tools::parse_u64(v, &cfg.seed), v,
+             "an unsigned integer");
     } else if (arg == "--threads") {
-      cfg.threads = static_cast<std::size_t>(std::atoi(next("--threads")));
+      const char* v = next("--threads");
+      parsed("--threads", tools::parse_count0(v, &cfg.threads), v,
+             "a thread count >= 0 (0 = hardware)");
     } else if (arg == "--out") {
       out_path = next("--out");
     } else if (arg == "--faults") {
