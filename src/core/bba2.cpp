@@ -1,6 +1,7 @@
 #include "core/bba2.hpp"
 
 #include <algorithm>
+#include <typeinfo>
 
 #include "util/assert.hpp"
 
@@ -61,6 +62,28 @@ std::size_t Bba2::choose_rate(const abr::Observation& obs) {
     return ladder.up(prev);
   }
   return prev;
+}
+
+bool Bba2::batch_profile(abr::BatchDecisionProfile* out) const {
+  if (typeid(*this) != typeid(Bba2)) return false;
+  abr::BatchDecisionProfile p;
+  p.startup = true;
+  p.threshold_at_empty = cfg2_.threshold_at_empty;
+  p.threshold_at_knee = cfg2_.threshold_at_knee;
+  p.lookahead_s = cfg_.reservoir.lookahead_s;
+  p.reservoir_min_s = cfg_.reservoir.min_s;
+  p.reservoir_max_s = cfg_.reservoir.max_s;
+  p.cache_window_sums = cfg_.reservoir.cache_window_sums;
+  p.upper_knee_fraction = cfg_.upper_knee_fraction;
+  p.start_index = cfg_.start_index;
+  p.monotone_reservoir = cfg_.monotone_reservoir;
+  p.outage_protection = cfg_.outage_protection;
+  p.outage_accrual_s = cfg_.outage_accrual_s;
+  p.outage_cap_s = cfg_.outage_cap_s;
+  p.outage_accrue_below_fraction = cfg_.outage_accrue_below_fraction;
+  p.min_cushion_s = cfg_.min_cushion_s;
+  *out = p;
+  return true;
 }
 
 }  // namespace bba::core

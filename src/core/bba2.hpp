@@ -43,6 +43,9 @@ class Bba2 : public Bba1 {
   double startup_threshold_s(double buffer_s, double buffer_max_s,
                              double chunk_duration_s) const;
 
+  /// Exports the config for the batched kernel -- exact dynamic type only.
+  bool batch_profile(abr::BatchDecisionProfile* out) const override;
+
  private:
   Bba2Config cfg2_;
   bool in_startup_ = true;

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "exp/population.hpp"
+#include "exp/session_key.hpp"
 #include "exp/workload.hpp"
 #include "net/capacity_trace.hpp"
 #include "net/trace_gen.hpp"
@@ -11,6 +12,7 @@
 #include "obs/obs.hpp"
 #include "obs/trace.hpp"
 #include "runtime/session_executor.hpp"
+#include "sim/batch_player.hpp"
 #include "sim/player.hpp"
 #include "sim/session_sink.hpp"
 #include "util/assert.hpp"
@@ -34,6 +36,12 @@ struct SessionBlockRunner::Impl {
     // whatever format the run selected -- JSONL lines or btrace blocks.
     std::unique_ptr<obs::SessionTraceSink> trace_sink;
     std::vector<std::unique_ptr<abr::RateAdaptation>> abrs;
+    // Batched-kernel state: lanes for one key's group set, the kernel's
+    // scratch (decision tables, lazy trace streams, pending ring), and the
+    // per-session instances of groups that opt out of reuse.
+    sim::BatchScratch batch;
+    std::vector<sim::BatchLane> lanes;
+    std::vector<std::unique_ptr<abr::RateAdaptation>> fresh_abrs;
   };
 
   // Traced sessions serialize into per-key buffers during the parallel
@@ -63,6 +71,10 @@ struct SessionBlockRunner::Impl {
   }
 
   void run(std::span<const SessionKey> keys, const Fold& fold);
+  void run_batched_key(std::size_t task, std::size_t slot,
+                       const SessionKey& key, const UserEnvironment& env,
+                       const media::Video& video,
+                       const sim::PlayerConfig& player, bool traced);
 
   std::vector<Group> groups;
   const media::VideoLibrary& library;
@@ -94,18 +106,11 @@ void SessionBlockRunner::Impl::run(std::span<const SessionKey> keys,
         const SessionKey& key = keys[task];
         const UserEnvironment env = population.environment_for(key);
         SessionScratch& s = scratch[slot];
-        population.trace_for_into(env, key, s.trace_scratch, s.trace);
-        // Fault injection rides the dedicated kFaults substream: with an
-        // empty plan this is a no-op and nothing downstream changes byte
-        // for byte.
-        const bool faulted = population.has_faults();
-        if (faulted) population.inject_faults(key, s.fault_scratch, s.trace);
         const SessionSpec spec = session_for(library, cfg.workload, key);
         const media::Video& video = library.at(spec.video_index);
 
         sim::PlayerConfig player = cfg.player;
         player.watch_duration_s = spec.watch_duration_s;
-        if (faulted) player.faults = &s.fault_scratch.events;
 
         // One sampling decision per key, shared by every group: the
         // control and treatment timelines of a sampled session land
@@ -114,6 +119,22 @@ void SessionBlockRunner::Impl::run(std::span<const SessionKey> keys,
         const bool traced =
             tracer != nullptr &&
             tracer->sampled(key.seed, key.day, key.window, key.session);
+
+        // Fault injection rides the dedicated kFaults substream: with an
+        // empty plan this is a no-op and nothing downstream changes byte
+        // for byte. Faulted runs stay on the scalar path (stall/fault
+        // attribution is outside the kernel's contract).
+        const bool faulted = population.has_faults();
+        if (cfg.batch_sessions && !faulted) {
+          run_batched_key(task, slot, key, env, video, player, traced);
+          return;
+        }
+
+        population.trace_for_into(env, key, s.trace_scratch, s.trace);
+        if (faulted) {
+          population.inject_faults(key, s.fault_scratch, s.trace);
+          player.faults = &s.fault_scratch.events;
+        }
 
         for (std::size_t g = 0; g < n_groups; ++g) {
           std::unique_ptr<abr::RateAdaptation> fresh;
@@ -187,6 +208,98 @@ void SessionBlockRunner::Impl::run(std::span<const SessionKey> keys,
           }
         }
       });
+}
+
+void SessionBlockRunner::Impl::run_batched_key(
+    std::size_t task, std::size_t slot, const SessionKey& key,
+    const UserEnvironment& env, const media::Video& video,
+    const sim::PlayerConfig& player, bool traced) {
+  const std::size_t n_groups = groups.size();
+  SessionScratch& s = scratch[slot];
+  s.fresh_abrs.clear();
+  if (s.lanes.size() < n_groups) s.lanes.resize(n_groups);
+
+  // Resolve each group's algorithm instance and classify the lanes. The
+  // eligibility probe runs with a null trace: materialized traces here
+  // always loop, so the verdict is the same either way.
+  bool any_ineligible = false;
+  for (std::size_t g = 0; g < n_groups; ++g) {
+    abr::RateAdaptation* algorithm;
+    if (groups[g].reuse_instances) {
+      if (s.abrs[g] == nullptr) s.abrs[g] = groups[g].factory();
+      algorithm = s.abrs[g].get();
+    } else {
+      s.fresh_abrs.push_back(groups[g].factory());
+      algorithm = s.fresh_abrs.back().get();
+    }
+    BBA_ASSERT(algorithm != nullptr, "group factory returned null");
+    abr::BatchDecisionProfile profile;
+    if (!algorithm->batch_profile(&profile) ||
+        !sim::batch_lane_eligible(profile, player, video, nullptr)) {
+      any_ineligible = true;
+    }
+    sim::BatchLane& lane = s.lanes[g];
+    lane = sim::BatchLane{};
+    lane.video = &video;
+    lane.abr = algorithm;
+    lane.config = player;
+    lane.out = &metrics[task * n_groups + g];
+  }
+
+  // Outage sessions need the materialized trace (outages are drawn after
+  // the full Markov walk, so a lazy stream cannot know them); scalar
+  // fallbacks need it too. Everything else streams the kTrace substream
+  // lazily -- generated once, shared by every group's lane.
+  const bool materialize = env.has_outages || any_ineligible;
+  if (materialize) {
+    population.trace_for_into(env, key, s.trace_scratch, s.trace);
+  }
+  for (std::size_t g = 0; g < n_groups; ++g) {
+    sim::BatchLane& lane = s.lanes[g];
+    if (materialize) {
+      lane.trace = &s.trace;
+    } else {
+      lane.stream = &env.trace;
+      lane.stream_rng = session_rng(key, StreamClass::kTrace);
+      lane.stream_key = 1;
+    }
+  }
+  sim::simulate_session_batch(
+      std::span<sim::BatchLane>(s.lanes.data(), n_groups), s.batch);
+
+  if (tracer == nullptr) return;
+  // Sampled or post-hoc anomalous sessions are re-simulated with the tee
+  // attached (the same run-then-replay shape as the scalar path), with the
+  // registry muted so nothing is double-counted: the kernel run above
+  // already emitted this session's events.
+  const obs::TraceConfig& tc = tracer->config();
+  bool have_trace = materialize;
+  for (std::size_t g = 0, fresh = 0; g < n_groups; ++g) {
+    abr::RateAdaptation* algorithm = groups[g].reuse_instances
+                                         ? s.abrs[g].get()
+                                         : s.fresh_abrs[fresh++].get();
+    const sim::SessionMetrics& m = metrics[task * n_groups + g];
+    const bool need_tee =
+        traced || (tc.anomalies_enabled() &&
+                   (m.rebuffer_s >= tc.anomaly_rebuffer_s ||
+                    (tc.capture_abandoned && m.abandoned)));
+    if (!need_tee) continue;
+    if (!have_trace) {
+      population.trace_for_into(env, key, s.trace_scratch, s.trace);
+      have_trace = true;
+    }
+    obs::SlotBinding mute(nullptr, slot);
+    if (s.trace_sink == nullptr) s.trace_sink = tracer->make_sink();
+    s.trace_sink->begin(tracer->config(), key.seed, key.day, key.window,
+                        key.session, groups[g].name, traced);
+    sim::TeeSink tee(s.sink, *s.trace_sink);
+    sim::simulate_session(video, s.trace, *algorithm, player, tee);
+    KeyTrace& kt = key_trace[task];
+    if (s.trace_sink->finish(&kt.lines)) {
+      ++kt.emitted;
+      if (s.trace_sink->anomalous()) ++kt.anomalies;
+    }
+  }
 }
 
 SessionBlockRunner::SessionBlockRunner(const std::vector<Group>& groups,
