@@ -24,7 +24,10 @@
 // Two full-population rows (jsonl_full_trace / btrace_full_trace) serialize
 // EVERY session (--trace-sample 1) through each sink format and record
 // bytes/session; the btrace encoder must stay >=5x smaller than JSONL (a
-// hard exit -- bytes are deterministic, unlike timings).
+// hard exit -- bytes are deterministic, unlike timings). A
+// streaming_timeline row folds every session into a TimelineAggregator and
+// enforces the fleet-telemetry budget as hard exits: zero steady-state
+// allocations and <=5% overhead over plain streaming.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -47,6 +50,7 @@
 #include "obs/btrace.hpp"
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
+#include "obs/timeline.hpp"
 #include "obs/trace.hpp"
 #include "runtime/session_executor.hpp"
 #include "runtime/thread_pool.hpp"
@@ -274,6 +278,7 @@ bool metrics_identical(const sim::SessionMetrics& a,
          same(a.steady_play_s, b.steady_play_s) &&
          a.switch_count == b.switch_count &&
          same(a.switches_per_hour, b.switches_per_hour) &&
+         same(a.avg_buffer_s, b.avg_buffer_s) &&
          a.abandoned == b.abandoned;
 }
 
@@ -447,6 +452,37 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --- Timeline-enabled streaming at 1 thread: fleet telemetry budget. --
+  // The aggregator is pre-sized by begin_run, so the per-session record()
+  // (cell adds + three sketch inserts) must allocate exactly nothing and
+  // cost <=5% over plain streaming -- both hard exits below.
+  long long max_timeline_allocs = 0;
+  {
+    obs::TimelineAggregator timeline;
+    timeline.begin_run(setup.seed, {"bba2"}, 1, exp::kWindowsPerDay);
+    std::vector<sim::SessionMetrics> tl_streamed(setup.sessions);
+    auto run_one = [&](std::size_t i) {
+      run_streaming(setup, i, scratch, &tl_streamed[i]);
+      const exp::SessionKey key = key_of(setup, i);
+      timeline.record(key.day, key.window, 0, tl_streamed[i]);
+    };
+    for (std::size_t i = 0; i < setup.sessions; ++i) run_one(i);  // warmup
+    {
+      g_counting.store(true);
+      for (std::size_t i = 0; i < setup.sessions; ++i) {
+        const long long before = g_allocs.load();
+        run_one(i);
+        max_timeline_allocs =
+            std::max(max_timeline_allocs, g_allocs.load() - before);
+      }
+      g_counting.store(false);
+    }
+    time_direct("streaming_timeline", run_one);
+    for (std::size_t i = 0; i < setup.sessions; ++i) {
+      identical = identical && metrics_identical(streamed[i], tl_streamed[i]);
+    }
+  }
+
   // --- Full-population capture: every session serialized (sample=1), ----
   // jsonl vs btrace through the same polymorphic collector/sink pair the
   // harness uses (output discarded; the serialization cost is real).
@@ -579,12 +615,15 @@ int main(int argc, char** argv) {
   }
 
   double recorded_sps = 0.0, streaming_sps = 0.0, obs_sps = 0.0;
-  double batched_sps = 0.0;
+  double batched_sps = 0.0, timeline_sps = 0.0;
   for (const Row& r : rows) {
     if (r.threads != 1) continue;
     if (std::string(r.mode) == "recorded") recorded_sps = r.sessions_per_sec;
     if (std::string(r.mode) == "streaming") streaming_sps = r.sessions_per_sec;
     if (std::string(r.mode) == "streaming_obs") obs_sps = r.sessions_per_sec;
+    if (std::string(r.mode) == "streaming_timeline") {
+      timeline_sps = r.sessions_per_sec;
+    }
     if (std::string(r.mode) == "streaming_batched") {
       batched_sps = r.sessions_per_sec;
     }
@@ -600,6 +639,13 @@ int main(int argc, char** argv) {
   const double obs_overhead_frac =
       streaming_sps > 0.0 && obs_sps > 0.0
           ? 1.0 - obs_sps / streaming_sps
+          : 0.0;
+  // Overhead of the fleet timeline fold vs plain streaming. Unlike the obs
+  // row this IS a hard exit (<=5%): the record() cost is a handful of u64
+  // adds, far inside the budget even with CI timing noise on best-of-N.
+  const double timeline_overhead_frac =
+      streaming_sps > 0.0 && timeline_sps > 0.0
+          ? 1.0 - timeline_sps / streaming_sps
           : 0.0;
   const double btrace_compression =
       full_bytes_per_session[1] > 0.0
@@ -650,12 +696,14 @@ int main(int argc, char** argv) {
                 ",\"speedup_streaming_vs_recorded\":%.2f,"
                 "\"batched_speedup_vs_streaming\":%.2f,"
                 "\"obs_overhead_frac\":%.3f,"
+                "\"timeline_overhead_frac\":%.3f,"
                 "\"max_allocs_per_steady_session\":%lld,"
                 "\"max_allocs_per_steady_batch\":%lld,"
+                "\"max_allocs_per_timeline_session\":%lld,"
                 "\"bit_identical\":%s}",
                 speedup, batched_speedup, obs_overhead_frac,
-                max_session_allocs, max_batch_allocs,
-                identical ? "true" : "false");
+                timeline_overhead_frac, max_session_allocs, max_batch_allocs,
+                max_timeline_allocs, identical ? "true" : "false");
   json += buf;
 
   std::printf("%s\n", json.c_str());
@@ -700,6 +748,19 @@ int main(int argc, char** argv) {
                  "FAIL: batched kernel speedup %.2fx over streaming below "
                  "the 2x floor\n",
                  batched_speedup);
+    ok = false;
+  }
+  if (max_timeline_allocs != 0) {
+    std::fprintf(stderr,
+                 "FAIL: timeline record() allocated on a steady-state "
+                 "session (max %lld allocs)\n",
+                 max_timeline_allocs);
+    ok = false;
+  }
+  if (timeline_overhead_frac > 0.05) {
+    std::fprintf(stderr,
+                 "FAIL: timeline overhead %.1f%% above the 5%% budget\n",
+                 timeline_overhead_frac * 100.0);
     ok = false;
   }
   if (btrace_compression < 5.0) {

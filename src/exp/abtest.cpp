@@ -116,6 +116,8 @@ AbTestResult run_ab_test(const std::vector<Group>& groups,
   obs::Observability* o = obs::global();
   obs::Profiler* profiler = o != nullptr ? o->profiler.get() : nullptr;
   obs::ScopedTimer run_span(profiler, 0, "run_ab_test");
+  obs::TimelineAggregator* timeline =
+      o != nullptr ? o->timeline.get() : nullptr;
 
   AbTestResult result;
   result.group_names.reserve(groups.size());
@@ -141,10 +143,21 @@ AbTestResult run_ab_test(const std::vector<Group>& groups,
     }
   }
 
+  // Fleet telemetry rides the same sequential fold: recorded in canonical
+  // key order, so the timeline artifact is byte-identical at any thread
+  // count (tests/test_obs_timeline.cpp).
+  if (timeline != nullptr) {
+    timeline->begin_run(cfg.seed, result.group_names, cfg.days,
+                        kWindowsPerDay);
+  }
+
   SessionBlockRunner runner(groups, library, cfg);
   runner.run(keys, [&](std::size_t i, std::size_t g,
                        const sim::SessionMetrics& m) {
     accumulate_session(result.cells[g][keys[i].day][keys[i].window], m);
+    if (timeline != nullptr) {
+      timeline->record(keys[i].day, keys[i].window, g, m);
+    }
   });
   runner.finish();
   return result;

@@ -49,6 +49,20 @@ double HistSlot::bucket_edge(int i) {
   return std::ldexp(1.0, i - kBucketBias);
 }
 
+double MetricsSnapshot::HistValues::percentile(double q) const {
+  if (count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const std::uint64_t rank =
+      static_cast<std::uint64_t>(q * static_cast<double>(count - 1) + 0.5);
+  std::uint64_t cum = 0;
+  for (int b = 0; b < HistSlot::kBuckets; ++b) {
+    cum += buckets[b];
+    if (rank < cum) return HistSlot::bucket_edge(b);
+  }
+  return HistSlot::bucket_edge(HistSlot::kBuckets - 1);
+}
+
 MetricsRegistry::MetricsRegistry(std::size_t slots)
     : slots_(nullptr), num_slots_(slots == 0 ? 1 : slots) {
   slots_ = new Slot[num_slots_]();
@@ -128,10 +142,13 @@ std::string MetricsSnapshot::to_text() const {
   for (std::size_t h = 0; h < kNumHists; ++h) {
     const HistValues& hv = hists[h];
     if (hv.count == 0) continue;
-    std::snprintf(buf, sizeof buf, "%-24s count=%llu mean=%.6g\n",
+    std::snprintf(buf, sizeof buf,
+                  "%-24s count=%llu mean=%.6g p50=%.3g p90=%.3g p99=%.3g\n",
                   hist_name(static_cast<Hist>(h)),
                   static_cast<unsigned long long>(hv.count),
-                  hv.sum / static_cast<double>(hv.count));
+                  hv.sum / static_cast<double>(hv.count),
+                  hv.percentile(0.50), hv.percentile(0.90),
+                  hv.percentile(0.99));
     out += buf;
   }
   return out;

@@ -116,6 +116,13 @@ struct MetricsSnapshot {
     std::uint64_t buckets[HistSlot::kBuckets] = {};
     std::uint64_t count = 0;
     double sum = 0.0;
+
+    /// Nearest-rank quantile over the log2 buckets (q in [0, 1]): the
+    /// upper edge of the bucket holding the order statistic at 0-based
+    /// rank round(q * (count-1)). Within a factor of 2 of the true value
+    /// by construction (diagnostics-grade; the fleet telemetry sketches
+    /// are the tight-error path). Returns 0 for an empty histogram.
+    double percentile(double q) const;
   } hists[kNumHists];
 
   std::uint64_t counter(Counter c) const {

@@ -15,6 +15,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/profile.hpp"
+#include "obs/timeline.hpp"
 #include "obs/trace.hpp"
 
 namespace bba::obs {
@@ -24,6 +25,9 @@ struct Observability {
   std::unique_ptr<MetricsRegistry> metrics;
   std::unique_ptr<Profiler> profiler;
   std::unique_ptr<TraceCollector> trace;
+  /// Fleet timeline; harness folds record into it from the sequential
+  /// fold only (no synchronization -- see timeline.hpp).
+  std::unique_ptr<TimelineAggregator> timeline;
 };
 
 /// The currently installed handle, or nullptr (the default).

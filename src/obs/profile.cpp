@@ -32,14 +32,31 @@ std::string Profiler::chrome_trace_json() const {
   std::sort(merged.begin(), merged.end(),
             [](const Event& a, const Event& b) { return a.ts_us < b.ts_us; });
 
+  // Metadata (ph:"M") events first, so Perfetto / chrome://tracing label
+  // the process and each executor-slot track instead of showing bare pids.
+  std::vector<std::uint32_t> tids;
+  tids.reserve(merged.size());
+  for (const Event& e : merged) tids.push_back(e.tid);
+  std::sort(tids.begin(), tids.end());
+  tids.erase(std::unique(tids.begin(), tids.end()), tids.end());
+
   std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   char buf[256];
-  for (std::size_t i = 0; i < merged.size(); ++i) {
-    const Event& e = merged[i];
+  out +=
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
+      "\"args\":{\"name\":\"bba harness\"}}";
+  for (const std::uint32_t tid : tids) {
     std::snprintf(buf, sizeof buf,
-                  "%s{\"name\":\"%s\",\"cat\":\"bba\",\"ph\":\"X\","
+                  ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,"
+                  "\"tid\":%u,\"args\":{\"name\":\"slot %u\"}}",
+                  tid, tid);
+    out += buf;
+  }
+  for (const Event& e : merged) {
+    std::snprintf(buf, sizeof buf,
+                  ",{\"name\":\"%s\",\"cat\":\"bba\",\"ph\":\"X\","
                   "\"ts\":%.3f,\"dur\":%.3f,\"pid\":0,\"tid\":%u}",
-                  i == 0 ? "" : ",", e.name, e.ts_us, e.dur_us, e.tid);
+                  e.name, e.ts_us, e.dur_us, e.tid);
     out += buf;
   }
   out += "]}";

@@ -22,6 +22,27 @@ std::size_t default_slots(std::size_t threads_hint) {
   return hw == 0 ? 1 : hw;
 }
 
+/// Writes `body` + '\n' to `path`, or the exact same bytes to stdout when
+/// path is "-". The notice goes to stderr either way, so stdout carries
+/// only the artifact (the seq-log convention all JSON outputs now share).
+void write_json_output(const char* what, const std::string& path,
+                       const std::string& body) {
+  if (path == "-") {
+    std::fputs(body.c_str(), stdout);
+    std::fputc('\n', stdout);
+    std::fprintf(stderr, "obs: wrote %s to stdout\n", what);
+    return;
+  }
+  if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+    std::fputs(body.c_str(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::fprintf(stderr, "obs: wrote %s %s\n", what, path.c_str());
+  } else {
+    std::fprintf(stderr, "obs: could not write %s %s\n", what, path.c_str());
+  }
+}
+
 }  // namespace
 
 ObsOptions ObsOptions::from_env() {
@@ -33,6 +54,7 @@ ObsOptions ObsOptions::from_env() {
   }
   if (const char* v = env_or_null("BBA_METRICS")) opts.metrics_out = v;
   if (const char* v = env_or_null("BBA_PROFILE")) opts.profile_out = v;
+  if (const char* v = env_or_null("BBA_TIMELINE")) opts.timeline_out = v;
   return opts;
 }
 
@@ -72,6 +94,10 @@ bool ObsOptions::consume_arg(int argc, char** argv, int& i) {
     profile_out = value("--profile-out");
     return true;
   }
+  if (std::strcmp(arg, "--timeline-out") == 0) {
+    timeline_out = value("--timeline-out");
+    return true;
+  }
   return false;
 }
 
@@ -81,10 +107,13 @@ const char* ObsOptions::usage() {
       "            tracing: 1-in-N deterministic sampling + anomaly capture\n"
       "          [--trace-format jsonl|btrace]  text lines (default) or the\n"
       "            columnar binary container (bba_trace cat converts back)\n"
-      "          [--metrics-out FILE.json|-] [--profile-out FILE.json]\n"
+      "          [--metrics-out FILE.json|-] [--profile-out FILE.json|-]\n"
       "            metrics snapshot / chrome://tracing profile\n"
+      "          [--timeline-out FILE.json|-]  fleet timeline artifact:\n"
+      "            per-(day,window,group) cells + quantile sketches, the\n"
+      "            input to the bba_obs dashboard CLI (- = stdout)\n"
       "          (env: BBA_TRACE, BBA_TRACE_FORMAT, BBA_TRACE_SAMPLE,\n"
-      "           BBA_METRICS, BBA_PROFILE)\n";
+      "           BBA_METRICS, BBA_PROFILE, BBA_TIMELINE)\n";
 }
 
 ObsScope::ObsScope(const ObsOptions& opts, std::size_t threads_hint)
@@ -94,6 +123,9 @@ ObsScope::ObsScope(const ObsOptions& opts, std::size_t threads_hint)
   handle_ = std::make_unique<Observability>();
   handle_->metrics = std::make_unique<MetricsRegistry>(slots);
   handle_->profiler = std::make_unique<Profiler>(slots);
+  if (!opts.timeline_out.empty()) {
+    handle_->timeline = std::make_unique<TimelineAggregator>();
+  }
   if (!opts.trace_out.empty()) {
     TraceConfig cfg;
     cfg.path = opts.trace_out;
@@ -129,27 +161,20 @@ ObsScope::~ObsScope() {
     const MetricsSnapshot snap = handle_->metrics->snapshot();
     const std::string extra =
         handle_->trace != nullptr ? handle_->trace->stats_json() : "";
-    if (opts_.metrics_out == "-") {
-      std::printf("%s\n", snap.to_text().c_str());
-    } else if (std::FILE* f = std::fopen(opts_.metrics_out.c_str(), "w")) {
-      const std::string json = snap.to_json(extra);
-      std::fputs(json.c_str(), f);
-      std::fputc('\n', f);
-      std::fclose(f);
-      std::fprintf(stderr, "obs: wrote metrics %s\n",
-                   opts_.metrics_out.c_str());
-    } else {
-      std::fprintf(stderr, "obs: could not write metrics %s\n",
-                   opts_.metrics_out.c_str());
-    }
+    write_json_output("metrics", opts_.metrics_out, snap.to_json(extra));
   }
   if (!opts_.profile_out.empty() && handle_->profiler != nullptr) {
-    if (handle_->profiler->write_chrome_trace(opts_.profile_out)) {
-      std::fprintf(stderr, "obs: wrote profile %s\n",
-                   opts_.profile_out.c_str());
+    write_json_output("profile", opts_.profile_out,
+                      handle_->profiler->chrome_trace_json());
+  }
+  if (!opts_.timeline_out.empty() && handle_->timeline != nullptr) {
+    if (handle_->timeline->configured()) {
+      write_json_output("timeline", opts_.timeline_out,
+                        handle_->timeline->to_json());
     } else {
-      std::fprintf(stderr, "obs: could not write profile %s\n",
-                   opts_.profile_out.c_str());
+      std::fprintf(stderr,
+                   "obs: timeline %s not written (no sessions recorded)\n",
+                   opts_.timeline_out.c_str());
     }
   }
   if (!opts_.trace_out.empty() && handle_->trace != nullptr) {

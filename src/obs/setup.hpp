@@ -22,19 +22,22 @@ struct ObsOptions {
   std::string trace_format = "jsonl";  ///< "jsonl" or "btrace"
   std::uint64_t trace_sample = 64;  ///< 1-in-N sampling (0 = anomalies only)
   double anomaly_rebuffer_s = 30.0;
-  std::string metrics_out;  ///< metrics snapshot JSON path ("-" = stdout)
-  std::string profile_out;  ///< Chrome trace-event JSON path
+  std::string metrics_out;   ///< metrics snapshot JSON path
+  std::string profile_out;   ///< Chrome trace-event JSON path
+  std::string timeline_out;  ///< fleet timeline artifact JSON path
+  // Any of the three JSON outputs accepts "-": the exact file bytes go to
+  // stdout and the notice line to stderr.
 
   /// True when any instrument is requested. The profiler and metrics
   /// registry also come up when only tracing is on (trace stats ride the
   /// metrics snapshot), but files are written only for requested outputs.
   bool any() const {
     return !trace_out.empty() || !metrics_out.empty() ||
-           !profile_out.empty();
+           !profile_out.empty() || !timeline_out.empty();
   }
 
   /// Environment defaults: BBA_TRACE, BBA_TRACE_SAMPLE, BBA_METRICS,
-  /// BBA_PROFILE. Unset variables leave the defaults above.
+  /// BBA_PROFILE, BBA_TIMELINE. Unset variables leave the defaults above.
   static ObsOptions from_env();
 
   /// CLI hook: if argv[i] is one of the shared observability flags,

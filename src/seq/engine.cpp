@@ -110,6 +110,14 @@ SeqResult run_sequential(const std::vector<exp::Group>& groups,
   obs::Observability* o = obs::global();
   obs::Profiler* profiler = o != nullptr ? o->profiler.get() : nullptr;
   obs::ScopedTimer run_span(profiler, 0, "run_sequential");
+  obs::TimelineAggregator* timeline =
+      o != nullptr ? o->timeline.get() : nullptr;
+  if (timeline != nullptr) {
+    std::vector<std::string> names;
+    names.reserve(groups.size());
+    for (const auto& g : groups) names.push_back(g.name);
+    timeline->begin_run(cfg.seed, names, cfg.days, exp::kWindowsPerDay);
+  }
 
   const std::size_t n_arms = groups.size();
   const double direction = metric.higher_is_better ? 1.0 : -1.0;
@@ -205,6 +213,9 @@ SeqResult run_sequential(const std::vector<exp::Group>& groups,
       const std::size_t arm = sim[g];
       exp::accumulate_session(
           result.cells.cells[arm][keys[i].day][keys[i].window], m);
+      if (timeline != nullptr) {
+        timeline->record(keys[i].day, keys[i].window, arm, m);
+      }
       row[g] = session_value(metric.def, m);
       if (g + 1 == sim.size()) {
         const double base = row[baseline_pos];
@@ -286,7 +297,34 @@ SeqResult run_sequential(const std::vector<exp::Group>& groups,
       log += groups[eliminated_now[i]].name;
       log += '"';
     }
-    log += "],\"stop\":";
+    log += "]";
+    // Per-round fleet snapshot, only when a timeline is installed: the
+    // members are additions, so runs without --timeline-out keep their
+    // exact historical log bytes (seq-smoke CI diffs them).
+    if (timeline != nullptr) {
+      log += ",\"timeline\":[";
+      for (std::size_t a = 0; a < n_arms; ++a) {
+        const obs::TimelineCell t = timeline->group_total(a);
+        const double play_h = static_cast<double>(t.play_micro) * 1e-6 / 3600.0;
+        if (a != 0) log += ',';
+        log += "{\"sessions\":";
+        append_u64(log, t.sessions);
+        log += ",\"play_h\":";
+        append_double(log, play_h);
+        log += ",\"rebuf_ph\":";
+        append_double(log, play_h > 0.0
+                               ? static_cast<double>(t.rebuffers) / play_h
+                               : 0.0);
+        log += ",\"rate_kbps\":";
+        append_double(log, t.play_micro > 0
+                               ? static_cast<double>(t.rate_play_kbit) /
+                                     (static_cast<double>(t.play_micro) * 1e-6)
+                               : 0.0);
+        log += '}';
+      }
+      log += ']';
+    }
+    log += ",\"stop\":";
     if (stop_reason.empty()) {
       log += "null";
     } else {

@@ -75,6 +75,8 @@ void lane_run(Src src, const media::DecisionTable& dt,
          steady_w = 0.0, steady_r = 0.0;
   long long switches = 0, rebuf_n = 0;
   double rebuf_s = 0.0;
+  double buf_sum = 0.0;
+  long long buf_n = 0;
   std::size_t sink_prev = 0;
   bool sink_has_prev = false;
   // obs
@@ -257,6 +259,10 @@ void lane_run(Src src, const media::DecisionTable& dt,
     if (sink_has_prev && r != sink_prev) ++switches;
     sink_prev = r;
     sink_has_prev = true;
+    // `buffer` here equals ChunkRecord::buffer_after_s (post buffer += V),
+    // summed in download order like the scalar sinks.
+    buf_sum += buffer;
+    ++buf_n;
     if (cnt == mask + 1) {
       grow_ring(scratch, head, cnt);
       ring = scratch.ring.data();
@@ -326,6 +332,7 @@ void lane_run(Src src, const media::DecisionTable& dt,
     steady_w += steady_overlap;
     steady_r += c.rate_bps * steady_overlap;
   }
+  if (buf_n > 0) m.avg_buffer_s = buf_sum / static_cast<double>(buf_n);
   if (total_w > 0.0) m.avg_rate_bps = total_r / total_w;
   if (start_w > 0.0) m.startup_rate_bps = start_r / start_w;
   if (steady_w > 0.0) {

@@ -31,7 +31,9 @@ SessionMetrics compute_metrics(const SessionResult& result,
   double total_weight = 0.0, total_rate = 0.0;
   double start_weight = 0.0, start_rate = 0.0;
   double steady_weight = 0.0, steady_rate = 0.0;
+  double buffer_sum = 0.0;
   for (const auto& c : result.chunks) {
+    buffer_sum += c.buffer_after_s;
     const double lo = c.position_s;
     const double played_portion =
         std::clamp(result.played_s - lo, 0.0, V);
@@ -47,6 +49,9 @@ SessionMetrics compute_metrics(const SessionResult& result,
     const double steady_overlap = played_portion - start_overlap;
     steady_weight += steady_overlap;
     steady_rate += c.rate_bps * steady_overlap;
+  }
+  if (!result.chunks.empty()) {
+    m.avg_buffer_s = buffer_sum / static_cast<double>(result.chunks.size());
   }
   if (total_weight > 0.0) m.avg_rate_bps = total_rate / total_weight;
   if (start_weight > 0.0) m.startup_rate_bps = start_rate / start_weight;

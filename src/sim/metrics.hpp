@@ -28,6 +28,13 @@ struct SessionMetrics {
   long long switch_count = 0;     ///< rate changes between adjacent chunks
   double switches_per_hour = 0.0;
 
+  /// Mean buffer level right after each chunk landed, over all downloaded
+  /// chunks (0 with no chunks) -- the session's buffer-occupancy summary
+  /// for the fleet telemetry sketches. Accumulated in download order by
+  /// every metric path, so it is bit-identical across recorded, streaming,
+  /// and batched execution like the rest of the struct.
+  double avg_buffer_s = 0.0;
+
   bool abandoned = false;
 
   /// Seconds of played video past the startup window (the weight behind

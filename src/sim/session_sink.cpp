@@ -57,6 +57,8 @@ void StreamingMetricsSink::on_session_start(double chunk_duration_s) {
   rebuffer_count_ = 0;
   rebuffer_s_ = 0.0;
   fault_stall_count_ = 0;
+  buffer_sum_ = 0.0;
+  chunk_count_ = 0;
   metrics_ = SessionMetrics{};
 }
 
@@ -96,6 +98,12 @@ void StreamingMetricsSink::on_chunk(const ChunkRecord& chunk,
   }
   prev_rate_index_ = chunk.rate_index;
   has_prev_rate_ = true;
+
+  // Independent accumulator summed in on_chunk (= download) order: the
+  // identical floating-point sequence compute_metrics performs over
+  // result.chunks.
+  buffer_sum_ += chunk.buffer_after_s;
+  ++chunk_count_;
 
   push_pending({chunk.position_s, chunk.rate_bps});
 
@@ -156,6 +164,9 @@ void StreamingMetricsSink::on_session_end(const SessionSummary& summary) {
   head_ = 0;
   count_ = 0;
 
+  if (chunk_count_ > 0) {
+    m.avg_buffer_s = buffer_sum_ / static_cast<double>(chunk_count_);
+  }
   if (total_weight_ > 0.0) m.avg_rate_bps = total_rate_ / total_weight_;
   if (start_weight_ > 0.0) m.startup_rate_bps = start_rate_ / start_weight_;
   if (steady_weight_ > 0.0) {

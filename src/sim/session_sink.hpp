@@ -153,6 +153,8 @@ class StreamingMetricsSink final : public SessionSink {
   long long rebuffer_count_ = 0;
   double rebuffer_s_ = 0.0;
   long long fault_stall_count_ = 0;
+  double buffer_sum_ = 0.0;
+  long long chunk_count_ = 0;
 
   SessionMetrics metrics_;
 };

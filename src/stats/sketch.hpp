@@ -1,0 +1,170 @@
+// Deterministic, mergeable quantile sketch (fixed log-bucket, DDSketch
+// style) for fleet telemetry distributions: video rate, startup delay,
+// buffer occupancy.
+//
+// Design constraints, in order:
+//   * Mergeable and EXACT under merge: bucket counts are u64 and merge is
+//     integer addition, so combining per-shard sketches reproduces the
+//     single-run sketch bit for bit, in any association or order. This is
+//     the property the ROADMAP checkpoint/resume + sharding item needs.
+//   * Deterministic: bucket assignment reads the raw IEEE-754 bit pattern
+//     (no libm on the insert path, mirroring obs::HistSlot::bucket_of), and
+//     quantile() uses a nearest-rank rule -- a pure function of (q, counts).
+//   * Bounded relative error: buckets subdivide each power-of-two octave
+//     into 32 geometric-ish steps using the top 5 mantissa bits, so a
+//     bucket spans [lo, hi) with hi/lo <= 33/32. quantile() returns the
+//     arithmetic midpoint (exactly representable: lo and hi need only 5
+//     mantissa bits), giving |est - x| / x <= (hi-lo)/(2*lo) <= 1/64
+//     (~1.6%) for any in-range value x in the bucket.
+//
+// Values <= 0 (and NaN) land in a dedicated zero bucket and report as 0.0;
+// values outside [2^kMinExp, 2^(kMaxExp+1)) clamp to the end buckets, where
+// the relative-error bound does not apply. The default range spans ~5e-10
+// .. ~5.6e14, comfortably covering seconds-scale delays and bits-per-second
+// rates.
+//
+// Header-only on purpose: obs (which links only bba_util) embeds sketches
+// in its timeline aggregator.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+namespace bba::stats {
+
+class QuantileSketch {
+ public:
+  static constexpr int kSubBits = 5;               ///< mantissa bits per octave
+  static constexpr int kSubBuckets = 1 << kSubBits;
+  static constexpr int kMinExp = -31;              ///< lowest octave, 2^-31
+  static constexpr int kMaxExp = 48;               ///< highest octave, 2^48
+  static constexpr int kBuckets = (kMaxExp - kMinExp + 1) * kSubBuckets;
+
+  /// Bucket index for v > 0 via the raw exponent + top mantissa bits.
+  /// Out-of-range values clamp to the end buckets; subnormals clamp to 0.
+  static int bucket_of(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    const int exp = static_cast<int>((bits >> 52) & 0x7ff) - 1023;
+    const int sub =
+        static_cast<int>((bits >> (52 - kSubBits)) & (kSubBuckets - 1));
+    const int idx = (exp - kMinExp) * kSubBuckets + sub;
+    if (idx < 0) return 0;
+    if (idx >= kBuckets) return kBuckets - 1;
+    return idx;
+  }
+
+  /// Bucket bounds: bucket b covers [lo, hi) = 2^e * [1 + j/32, 1 + (j+1)/32)
+  /// with e = kMinExp + b/32, j = b%32. Cold path only (rendering).
+  static double bucket_lo(int b) {
+    const int exp = kMinExp + b / kSubBuckets;
+    const int sub = b % kSubBuckets;
+    return pow2(exp) * (1.0 + static_cast<double>(sub) / kSubBuckets);
+  }
+  static double bucket_hi(int b) {
+    const int exp = kMinExp + b / kSubBuckets;
+    const int sub = b % kSubBuckets;
+    return pow2(exp) * (1.0 + static_cast<double>(sub + 1) / kSubBuckets);
+  }
+  /// The representative reported by quantile(): the arithmetic midpoint,
+  /// exactly representable since lo and hi carry only kSubBits+1 mantissa
+  /// bits.
+  static double bucket_mid(int b) {
+    return 0.5 * (bucket_lo(b) + bucket_hi(b));
+  }
+
+  /// Records `n` occurrences of `v`. Non-positive (and NaN) values count
+  /// in the zero bucket. Never allocates.
+  void add(double v, std::uint64_t n = 1) {
+    if (v > 0.0) {
+      buckets_[bucket_of(v)] += n;
+    } else {
+      zero_ += n;
+    }
+    count_ += n;
+  }
+
+  /// Deserialization hooks (bba_obs rebuilds sketches from the artifact):
+  /// add raw counts directly to a bucket / the zero bucket.
+  void add_bucket(int b, std::uint64_t n) {
+    if (b < 0) b = 0;
+    if (b >= kBuckets) b = kBuckets - 1;
+    buckets_[b] += n;
+    count_ += n;
+  }
+  void add_zero(std::uint64_t n) {
+    zero_ += n;
+    count_ += n;
+  }
+
+  /// Integer-exact merge: associative, commutative, and equal to having
+  /// added the other sketch's values here.
+  void merge(const QuantileSketch& other) {
+    zero_ += other.zero_;
+    count_ += other.count_;
+    for (int b = 0; b < kBuckets; ++b) buckets_[b] += other.buckets_[b];
+  }
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t zero_count() const { return zero_; }
+  std::uint64_t bucket_count(int b) const { return buckets_[b]; }
+
+  /// Nearest-rank quantile: the representative of the order statistic at
+  /// 0-based rank round(q * (count-1)). Deterministic; 0.0 for an empty
+  /// sketch or when the rank falls in the zero bucket. For in-range
+  /// positive values the estimate is within 1/64 relative error of the
+  /// true order statistic.
+  double quantile(double q) const {
+    if (count_ == 0) return 0.0;
+    if (q < 0.0) q = 0.0;
+    if (q > 1.0) q = 1.0;
+    const std::uint64_t rank = static_cast<std::uint64_t>(
+        q * static_cast<double>(count_ - 1) + 0.5);
+    if (rank < zero_) return 0.0;
+    std::uint64_t cum = zero_;
+    for (int b = 0; b < kBuckets; ++b) {
+      cum += buckets_[b];
+      if (rank < cum) return bucket_mid(b);
+    }
+    return bucket_mid(kBuckets - 1);
+  }
+
+  /// Appends the sketch state as JSON members (no surrounding braces):
+  /// `"zero":Z,"count":N,"buckets":[[b,c],...]` with buckets in ascending
+  /// index order, empty buckets omitted. All integers: byte-deterministic.
+  void append_json(std::string& out) const {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "\"zero\":%llu,\"count\":%llu,",
+                  static_cast<unsigned long long>(zero_),
+                  static_cast<unsigned long long>(count_));
+    out += buf;
+    out += "\"buckets\":[";
+    bool first = true;
+    for (int b = 0; b < kBuckets; ++b) {
+      if (buckets_[b] == 0) continue;
+      std::snprintf(buf, sizeof buf, "%s[%d,%llu]", first ? "" : ",", b,
+                    static_cast<unsigned long long>(buckets_[b]));
+      out += buf;
+      first = false;
+    }
+    out += ']';
+  }
+
+ private:
+  /// 2^e for the bucket-bound helpers without pulling in <cmath>.
+  static double pow2(int e) {
+    const std::uint64_t bits = static_cast<std::uint64_t>(e + 1023) << 52;
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  std::uint64_t buckets_[kBuckets] = {};
+  std::uint64_t zero_ = 0;   ///< values <= 0 (or NaN)
+  std::uint64_t count_ = 0;  ///< total observations, including zero_
+};
+
+}  // namespace bba::stats

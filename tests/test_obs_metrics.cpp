@@ -84,6 +84,41 @@ TEST(ObsMetrics, BucketEdgesAreMonotone) {
   EXPECT_EQ(obs::HistSlot::bucket_of(1e300), obs::HistSlot::kBuckets - 1);
 }
 
+TEST(ObsMetrics, PercentileIsNearestRankOverBuckets) {
+  obs::MetricsRegistry registry(1);
+  auto& slot = registry.slot_at(0);
+  for (int i = 1; i <= 100; ++i) {
+    slot.observe(obs::Hist::kDownloadSeconds, static_cast<double>(i));
+  }
+  const obs::MetricsSnapshot snap = registry.snapshot();
+  const auto& h = snap.hist(obs::Hist::kDownloadSeconds);
+  const double p0 = h.percentile(0.0);
+  const double p50 = h.percentile(0.5);
+  const double p99 = h.percentile(0.99);
+  EXPECT_LE(p0, p50);
+  EXPECT_LE(p50, p99);
+  // Buckets are power-of-two edges: the reported upper edge is within 2x
+  // of the true rank value (diagnostics-grade, not sketch-grade).
+  EXPECT_GE(p50, 50.0);
+  EXPECT_LE(p50, 100.0);
+  EXPECT_GE(p99, 99.0);
+  EXPECT_LE(p99, 198.0);
+}
+
+TEST(ObsMetrics, PercentileOnEmptyHistogramIsZero) {
+  obs::MetricsRegistry registry(1);
+  const obs::MetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.hist(obs::Hist::kStallSeconds).percentile(0.5), 0.0);
+}
+
+TEST(ObsMetrics, TextSnapshotCarriesPercentiles) {
+  obs::MetricsRegistry registry(1);
+  registry.slot_at(0).observe(obs::Hist::kStallSeconds, 3.0);
+  const std::string text = registry.snapshot().to_text();
+  EXPECT_NE(text.find("p50="), std::string::npos);
+  EXPECT_NE(text.find("p99="), std::string::npos);
+}
+
 TEST(ObsMetrics, SnapshotMergesAcrossSlotsAndThreads) {
   obs::MetricsRegistry registry(4);
   std::vector<std::thread> threads;
@@ -154,6 +189,32 @@ TEST(ObsProfiler, RecordsAndSerializesSpans) {
   EXPECT_NE(json.find("\"name\":\"inner\""), std::string::npos);
   EXPECT_NE(json.find("\"name\":\"wrapped\""), std::string::npos);
   EXPECT_EQ(profiler.dropped(), 0u);
+}
+
+TEST(ObsProfiler, EmitsNamingMetadataBeforeSpans) {
+  obs::Profiler profiler(2);
+  profiler.record(0, "a", 0.0, 1.0);
+  profiler.record(1, "b", 0.0, 1.0);
+  const std::string json = profiler.chrome_trace_json();
+  const auto process_at = json.find("\"name\":\"process_name\"");
+  const auto thread_at = json.find("\"name\":\"thread_name\"");
+  const auto span_at = json.find("\"ph\":\"X\"");
+  ASSERT_NE(process_at, std::string::npos);
+  ASSERT_NE(thread_at, std::string::npos);
+  ASSERT_NE(span_at, std::string::npos);
+  EXPECT_LT(process_at, span_at);
+  EXPECT_LT(thread_at, span_at);
+  EXPECT_NE(json.find("\"bba harness\""), std::string::npos);
+  // One thread_name event per distinct slot that recorded.
+  EXPECT_NE(json.find("\"slot 0\""), std::string::npos);
+  EXPECT_NE(json.find("\"slot 1\""), std::string::npos);
+}
+
+TEST(ObsProfiler, EmptyTraceStillNamesTheProcess) {
+  obs::Profiler profiler(1);
+  const std::string json = profiler.chrome_trace_json();
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_EQ(json.find("\"ph\":\"X\""), std::string::npos);
 }
 
 TEST(ObsProfiler, DropsBeyondCapInsteadOfGrowing) {

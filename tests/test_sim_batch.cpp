@@ -51,6 +51,7 @@ void expect_identical(const sim::SessionMetrics& a,
   EXPECT_EQ(a.switch_count, b.switch_count) << "lane " << lane;
   EXPECT_TRUE(same(a.switches_per_hour, b.switches_per_hour))
       << "lane " << lane;
+  EXPECT_TRUE(same(a.avg_buffer_s, b.avg_buffer_s)) << "lane " << lane;
   EXPECT_EQ(a.abandoned, b.abandoned) << "lane " << lane;
 }
 

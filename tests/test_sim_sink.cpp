@@ -50,6 +50,7 @@ void expect_identical(const SessionMetrics& streamed,
   EXPECT_EQ(streamed.steady_play_s, computed.steady_play_s);
   EXPECT_EQ(streamed.switch_count, computed.switch_count);
   EXPECT_EQ(streamed.switches_per_hour, computed.switches_per_hour);
+  EXPECT_EQ(streamed.avg_buffer_s, computed.avg_buffer_s);
   EXPECT_EQ(streamed.abandoned, computed.abandoned);
 }
 

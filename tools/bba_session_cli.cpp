@@ -483,6 +483,17 @@ int main(int argc, char** argv) {
   }
   const sim::SessionMetrics m = sim::compute_metrics(session);
 
+  // Fold the one session into the fleet timeline at its grid coordinates
+  // ((0,0,0) outside --repro), so --timeline-out works here too.
+  if (obs_scope.active() && obs_scope.handle()->timeline != nullptr) {
+    obs::TimelineAggregator* tl = obs_scope.handle()->timeline.get();
+    tl->begin_run(seed, std::vector<std::string>{abr_name},
+                  static_cast<std::size_t>(repro_day) + 1,
+                  exp::kWindowsPerDay);
+    tl->record(static_cast<std::size_t>(repro_day),
+               static_cast<std::size_t>(repro_window), 0, m);
+  }
+
   std::printf("abr=%s  trace=%s  video=%s\n", abr->name().c_str(),
               repro ? source_label.c_str()
                     : trace_path.empty() ? "(generated)" : trace_path.c_str(),

@@ -20,7 +20,13 @@ Checks any combination of the three observability artifacts:
                         and a "histograms" map whose bucket counts sum to
                         "count".
   --profile FILE.json   Chrome trace-event JSON: {"traceEvents": [...]},
-                        every event carrying name/ph/ts/dur/pid/tid.
+                        metadata events (ph "M": process_name/thread_name)
+                        followed by complete spans (ph "X") carrying
+                        name/ph/ts/dur/pid/tid.
+  --timeline FILE.json  fleet timeline (schema "bba.timeline.v1"): integer
+                        per-(day, window, group) cells with in-range
+                        indices, plus per-group quantile sketches whose
+                        zero + bucket counts sum to "count".
 
 Exit status 0 when every requested file validates, 1 otherwise.
 """
@@ -254,13 +260,99 @@ def check_profile(path):
     events = doc.get("traceEvents")
     if not isinstance(events, list):
         return fail(f"{path}: no 'traceEvents' array")
+    spans = 0
+    meta = 0
     for i, ev in enumerate(events):
+        ph = ev.get("ph")
+        if ph == "M":
+            # Metadata events name the process and per-slot threads; they
+            # carry no timing, just an args.name payload.
+            for key in ("name", "pid", "tid"):
+                if key not in ev:
+                    return fail(f"{path}: metadata event {i} missing "
+                                f"'{key}'")
+            if ev["name"] not in ("process_name", "thread_name"):
+                return fail(f"{path}: metadata event {i} has unknown name "
+                            f"{ev['name']!r}")
+            if not isinstance(ev.get("args", {}).get("name"), str):
+                return fail(f"{path}: metadata event {i} missing args.name")
+            if spans:
+                return fail(f"{path}: metadata event {i} after a span")
+            meta += 1
+            continue
         for key in ("name", "ph", "ts", "dur", "pid", "tid"):
             if key not in ev:
                 return fail(f"{path}: event {i} missing '{key}'")
-        if ev["ph"] != "X" or ev["dur"] < 0:
+        if ph != "X" or ev["dur"] < 0:
             return fail(f"{path}: event {i} not a complete span")
-    print(f"ok: {path} ({len(events)} spans)")
+        spans += 1
+    if meta == 0:
+        return fail(f"{path}: no metadata events (expected process_name)")
+    print(f"ok: {path} ({spans} spans, {meta} metadata events)")
+    return True
+
+
+TIMELINE_CELL_KEYS = ("day", "window", "group", "sessions", "abandoned",
+                      "rebuffers", "fault_stalls", "switches", "play_micro",
+                      "rebuffer_micro", "join_micro", "rate_play_kbit")
+SKETCH_METRICS = ("rate_bps", "join_s", "buffer_s")
+
+
+def check_timeline(path):
+    with open(path, "r", encoding="utf-8") as f:
+        try:
+            doc = json.load(f)
+        except json.JSONDecodeError as e:
+            return fail(f"{path}: not JSON ({e})")
+    if doc.get("schema") != "bba.timeline.v1":
+        return fail(f"{path}: schema is {doc.get('schema')!r}, expected "
+                    "'bba.timeline.v1'")
+    days = doc.get("days")
+    windows = doc.get("windows_per_day")
+    groups = doc.get("groups")
+    if not isinstance(days, int) or days < 1:
+        return fail(f"{path}: 'days' not a positive int")
+    if not isinstance(windows, int) or windows < 1:
+        return fail(f"{path}: 'windows_per_day' not a positive int")
+    if not isinstance(groups, list) or not groups or \
+            not all(isinstance(g, str) and g for g in groups):
+        return fail(f"{path}: 'groups' not a non-empty list of names")
+    cells = doc.get("cells")
+    if not isinstance(cells, list):
+        return fail(f"{path}: no 'cells' array")
+    group_sessions = [0] * len(groups)
+    for i, cell in enumerate(cells):
+        for key in TIMELINE_CELL_KEYS:
+            v = cell.get(key)
+            if not isinstance(v, int) or v < 0:
+                return fail(f"{path}: cell {i} '{key}' not a non-negative "
+                            "int")
+        if cell["day"] >= days or cell["window"] >= windows or \
+                cell["group"] >= len(groups):
+            return fail(f"{path}: cell {i} index out of range")
+        if cell["sessions"] == 0:
+            return fail(f"{path}: cell {i} is empty (writer skips those)")
+        group_sessions[cell["group"]] += cell["sessions"]
+    sketches = doc.get("sketches")
+    if not isinstance(sketches, list):
+        return fail(f"{path}: no 'sketches' array")
+    for i, sk in enumerate(sketches):
+        if sk.get("group") not in range(len(groups)):
+            return fail(f"{path}: sketch {i} group out of range")
+        if sk.get("metric") not in SKETCH_METRICS:
+            return fail(f"{path}: sketch {i} has unknown metric "
+                        f"{sk.get('metric')!r}")
+        total = sk.get("zero", 0) + \
+            sum(count for _, count in sk.get("buckets", []))
+        if total != sk.get("count"):
+            return fail(f"{path}: sketch {i} zero + buckets sum to {total}, "
+                        f"count says {sk.get('count')}")
+        # Every session contributes one sample to each per-group sketch.
+        if sk["count"] != group_sessions[sk["group"]]:
+            return fail(f"{path}: sketch {i} count {sk['count']} != group "
+                        f"session total {group_sessions[sk['group']]}")
+    print(f"ok: {path} ({sum(group_sessions)} sessions, {len(cells)} cells, "
+          f"{len(sketches)} sketches)")
     return True
 
 
@@ -269,9 +361,11 @@ def main():
     parser.add_argument("--trace")
     parser.add_argument("--metrics")
     parser.add_argument("--profile")
+    parser.add_argument("--timeline")
     args = parser.parse_args()
-    if not (args.trace or args.metrics or args.profile):
-        parser.error("nothing to check: pass --trace/--metrics/--profile")
+    if not (args.trace or args.metrics or args.profile or args.timeline):
+        parser.error(
+            "nothing to check: pass --trace/--metrics/--profile/--timeline")
 
     ok = True
     if args.trace:
@@ -280,6 +374,8 @@ def main():
         ok = check_metrics(args.metrics) and ok
     if args.profile:
         ok = check_profile(args.profile) and ok
+    if args.timeline:
+        ok = check_timeline(args.timeline) and ok
     return 0 if ok else 1
 
 
