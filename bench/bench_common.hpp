@@ -11,6 +11,7 @@
 #include <filesystem>
 
 #include "exp/abtest.hpp"
+#include "exp/checkpoint.hpp"
 #include "exp/dump.hpp"
 #include "exp/report.hpp"
 #include "media/video.hpp"
@@ -52,13 +53,28 @@ inline const media::VideoLibrary& standard_library() {
   return library;
 }
 
+/// Checkpoint knobs for the benches, driven purely by the
+/// BBA_CHECKPOINT_OUT / BBA_CHECKPOINT_EVERY / BBA_CHECKPOINT_RESUME /
+/// BBA_CHECKPOINT_SHARD / BBA_CHECKPOINT_KILL environment (benches take no
+/// flags). With nothing set this is the default options, and
+/// run_standard_groups is exactly run_ab_test.
+inline const exp::CheckpointOptions& checkpoint_from_env() {
+  static const exp::CheckpointOptions opts = exp::CheckpointOptions::from_env();
+  return opts;
+}
+
 /// Observability for the benches, driven purely by the BBA_TRACE /
 /// BBA_TRACE_SAMPLE / BBA_METRICS / BBA_PROFILE environment (benches take
 /// no flags). Installed for the process lifetime on first use; with no
 /// variable set this is inert. Tracing a figure bench never changes its
 /// numbers -- same contract as the harness.
 inline void obs_from_env() {
-  static obs::ObsScope scope(obs::ObsOptions::from_env(), bench_threads());
+  static const obs::ObsOptions opts = [] {
+    obs::ObsOptions o = obs::ObsOptions::from_env();
+    o.trace_resume = checkpoint_from_env().resuming();
+    return o;
+  }();
+  static obs::ObsScope scope(opts, bench_threads());
 }
 
 /// Runs the experiment with the requested subset of standard groups.
@@ -86,7 +102,16 @@ inline exp::AbTestResult run_standard_groups(
       std::abort();
     }
   }
-  return exp::run_ab_test(groups, standard_library(), standard_config());
+  exp::AbTestResult result;
+  std::string error;
+  if (!exp::run_ab_test_checkpointed(groups, standard_library(),
+                                     standard_config(),
+                                     checkpoint_from_env(), &result,
+                                     &error)) {
+    std::fprintf(stderr, "checkpoint: %s\n", error.c_str());
+    std::abort();
+  }
+  return result;
 }
 
 /// Prints the bench banner.

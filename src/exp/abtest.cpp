@@ -9,10 +9,7 @@
 #include "core/bba1.hpp"
 #include "core/bba2.hpp"
 #include "core/bba_others.hpp"
-#include "exp/block.hpp"
-#include "exp/session_key.hpp"
-#include "obs/obs.hpp"
-#include "obs/profile.hpp"
+#include "exp/checkpoint.hpp"
 #include "sim/metrics.hpp"
 #include "util/assert.hpp"
 
@@ -105,61 +102,16 @@ std::vector<double> AbTestResult::per_day(
 AbTestResult run_ab_test(const std::vector<Group>& groups,
                          const media::VideoLibrary& library,
                          const AbTestConfig& cfg) {
-  BBA_ASSERT(!groups.empty(), "at least one group required");
-  BBA_ASSERT(cfg.days >= 1 && cfg.sessions_per_window >= 1,
-             "experiment dimensions must be >= 1");
-
-  // Observability is strictly observational: the registry counts events,
-  // the profiler times phases, and the trace sink tees next to the metrics
-  // sink. None of it feeds a simulation value, so results stay
-  // bit-identical with any of it on or off (tests/test_obs_trace.cpp).
-  obs::Observability* o = obs::global();
-  obs::Profiler* profiler = o != nullptr ? o->profiler.get() : nullptr;
-  obs::ScopedTimer run_span(profiler, 0, "run_ab_test");
-  obs::TimelineAggregator* timeline =
-      o != nullptr ? o->timeline.get() : nullptr;
-
+  // The checkpointed harness (exp/checkpoint.cpp) with default options IS
+  // the plain run: one chunk, no files, the identical canonical fold. With
+  // no checkpoint I/O configured the only failure modes are the programmer
+  // errors both paths already abort on.
   AbTestResult result;
-  result.group_names.reserve(groups.size());
-  for (const auto& g : groups) result.group_names.push_back(g.name);
-  result.cells.assign(
-      groups.size(),
-      std::vector<std::vector<WindowMetrics>>(
-          cfg.days, std::vector<WindowMetrics>(kWindowsPerDay)));
-
-  // One key per (day, window, session) triple; every group replays the
-  // key's shared environment (common random numbers). The runner folds the
-  // per-session metrics in canonical index order -- the identical
-  // floating-point sequence the sequential loop performs, so the result is
-  // bit-independent of the thread count.
-  const std::size_t per_day = kWindowsPerDay * cfg.sessions_per_window;
-  std::vector<SessionKey> keys;
-  keys.reserve(cfg.days * per_day);
-  for (std::size_t day = 0; day < cfg.days; ++day) {
-    for (std::size_t window = 0; window < kWindowsPerDay; ++window) {
-      for (std::size_t user = 0; user < cfg.sessions_per_window; ++user) {
-        keys.push_back(SessionKey{cfg.seed, day, window, user});
-      }
-    }
-  }
-
-  // Fleet telemetry rides the same sequential fold: recorded in canonical
-  // key order, so the timeline artifact is byte-identical at any thread
-  // count (tests/test_obs_timeline.cpp).
-  if (timeline != nullptr) {
-    timeline->begin_run(cfg.seed, result.group_names, cfg.days,
-                        kWindowsPerDay);
-  }
-
-  SessionBlockRunner runner(groups, library, cfg);
-  runner.run(keys, [&](std::size_t i, std::size_t g,
-                       const sim::SessionMetrics& m) {
-    accumulate_session(result.cells[g][keys[i].day][keys[i].window], m);
-    if (timeline != nullptr) {
-      timeline->record(keys[i].day, keys[i].window, g, m);
-    }
-  });
-  runner.finish();
+  std::string error;
+  const bool ok = run_ab_test_checkpointed(groups, library, cfg,
+                                           CheckpointOptions{}, &result,
+                                           &error);
+  BBA_ASSERT(ok, "run_ab_test failed");
   return result;
 }
 

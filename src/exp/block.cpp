@@ -332,4 +332,8 @@ void SessionBlockRunner::finish() {
   if (impl_->tracer != nullptr) impl_->tracer->flush();
 }
 
+std::size_t SessionBlockRunner::keys_folded() const {
+  return impl_->executor.tasks_folded();
+}
+
 }  // namespace bba::exp

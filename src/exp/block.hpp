@@ -59,6 +59,11 @@ class SessionBlockRunner {
   /// both do.
   void finish();
 
+  /// Total keys folded across every run() on this runner -- the executor's
+  /// sequential-fold cursor, which the checkpoint layer uses as the
+  /// authoritative position in the canonical key sequence.
+  std::size_t keys_folded() const;
+
  private:
   struct Impl;
   std::unique_ptr<Impl> impl_;

@@ -1,0 +1,185 @@
+// Checkpoint/resume and sharded runs for the experiment harness.
+//
+// A "bbackpt" checkpoint is a binary container (same framing discipline as
+// the btrace trace container, docs/file_formats.md) holding the complete
+// resumable state of an A/B or paper-report run at a canonical-key cursor:
+//
+//   * the cursor itself -- how far the strictly sequential fold has walked
+//     the canonical (day, window, session) key sequence;
+//   * every exp::WindowMetrics cell, raw IEEE-754 bits. The cells are
+//     order-sensitive weighted incremental means (accumulate_session), so
+//     a resumed run CONTINUES the fold from the cursor in canonical order;
+//     it never re-folds, and the restored doubles must be bit-exact;
+//   * the fleet timeline (integer cells + quantile sketches -- exact under
+//     restore and merge by construction);
+//   * the trace collector's tallies and flushed byte offset, so the trace
+//     file is truncated back to the checkpoint and appended to;
+//   * for sequential runs, every arm's stats::Running state and the
+//     decision log so far.
+//
+// Invariant (tests/test_exp_checkpoint.cpp + the resume-smoke CI job):
+// killing a run at any checkpoint and resuming reproduces the
+// uninterrupted run's stdout, report, timeline artifact, and trace file
+// byte for byte, at any --threads value.
+//
+// Sharding rides the same container: `--shard K/M` partitions the
+// canonical grid by (day, window) cell -- shard K (1-based) owns the cells
+// with (day * kWindowsPerDay + window) % M == K-1 -- so every cell's fold
+// sequence is wholly inside one shard and the per-cell doubles come out
+// bit-equal to the single run's. Each shard emits a checkpoint-format
+// partial; `bba_merge checkpoints` folds the partials into the identical
+// single-run checkpoint (cell union + integer-exact timeline merge), which
+// `--resume` then renders without simulating anything.
+//
+// Container layout ("bbackpt", little-endian throughout):
+//
+//   [16-byte file header]  "BBACKPT1", u32 version, u32 reserved
+//   [section]*             u32 magic, u32 payload length,
+//                          u32 CRC32(payload), payload
+//   [footer]               u32 footer magic, varint section count,
+//                          (u32 magic, varint offset, varint length)*
+//   [20-byte trailer]      u32 CRC32(footer body), u64 footer body
+//                          length, "BBACKIDX"
+//
+// Sections: "RUN0" (dimensions, groups, shard, cursor), "CELL" (window
+// cells), "TLIN" (timeline), "TRCE" (trace tallies), "SEQS" (sequential
+// engine state). Unknown sections are skipped on read (forward
+// compatibility); every payload is CRC-checked before parsing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exp/abtest.hpp"
+#include "obs/timeline.hpp"
+#include "obs/trace.hpp"
+
+namespace bba::exp {
+
+inline constexpr char kCkptMagic[8] = {'B', 'B', 'A', 'C', 'K', 'P', 'T',
+                                       '1'};
+inline constexpr char kCkptTrailerMagic[8] = {'B', 'B', 'A', 'C',
+                                              'K', 'I', 'D', 'X'};
+inline constexpr std::uint32_t kCkptVersion = 1;
+inline constexpr std::uint32_t kCkptFooterMagic = 0x58444943;  // "CIDX"
+inline constexpr std::uint32_t kCkptSectionRun = 0x304e5552;   // "RUN0"
+inline constexpr std::uint32_t kCkptSectionCells = 0x4c4c4543; // "CELL"
+inline constexpr std::uint32_t kCkptSectionTimeline = 0x4e494c54;  // "TLIN"
+inline constexpr std::uint32_t kCkptSectionTrace = 0x45435254;     // "TRCE"
+inline constexpr std::uint32_t kCkptSectionSeq = 0x53514553;       // "SEQS"
+
+/// Checkpointed state of the sequential engine (src/seq), carried here so
+/// the container has one home; bba_seq links bba_exp. Plain data: the
+/// engine reconstructs its ArmState from it via stats::Running::from_moments.
+struct CheckpointSeq {
+  std::uint64_t rounds = 0;
+  std::uint64_t sessions_used = 0;
+  std::uint64_t budget_sessions = 0;
+  std::uint64_t next_key = 0;  ///< cursor into the canonical key sequence
+  std::uint64_t batch_sessions = 0;
+  std::uint64_t min_batches = 0;
+  std::uint64_t baseline = 0;
+  double confidence = 0.0;
+  std::string metric;   ///< SeqMetric name; resume validates it matches
+  std::string verdict;  ///< empty while running; set = run complete
+  struct Arm {
+    bool candidate = true;
+    std::uint64_t eliminated_round = 0;
+    long long n = 0;       ///< stats::Running moments, raw bits
+    double mean = 0.0;
+    double m2 = 0.0;
+    double lo = 0.0;       ///< CI at the last completed round
+    double hi = 0.0;
+  };
+  std::vector<Arm> arms;      ///< group order
+  std::string decision_log;   ///< JSONL lines appended so far
+};
+
+/// One checkpoint: everything needed to continue (or just re-render) a
+/// run. `cells` has the AbTestResult shape [group][day][window].
+struct Checkpoint {
+  std::uint32_t kind = 0;  ///< 0 = fixed A/B run, 1 = sequential run
+  std::uint64_t seed = 0;
+  std::uint64_t days = 0;
+  std::uint64_t windows_per_day = 0;
+  std::uint64_t sessions_per_window = 0;
+  std::uint64_t shard_index = 1;  ///< 1-based, like --shard K/M
+  std::uint64_t shard_count = 1;
+  std::uint64_t total_keys = 0;   ///< this shard's canonical key count
+  std::uint64_t cursor = 0;       ///< keys folded; == total_keys when done
+  std::vector<std::string> groups;
+  std::vector<std::vector<std::vector<WindowMetrics>>> cells;
+  bool has_timeline = false;
+  obs::TimelineAggregator timeline;
+  bool has_trace = false;
+  obs::TraceResumeState trace;
+  bool has_seq = false;
+  CheckpointSeq seq;
+
+  bool complete() const { return cursor == total_keys; }
+};
+
+/// Serializes to / parses from the container bytes. parse validates the
+/// header, trailer, footer CRC, and every section CRC; on failure returns
+/// false with a diagnostic in *error and leaves *out unspecified.
+std::string serialize_checkpoint(const Checkpoint& ck);
+bool parse_checkpoint(const std::string& bytes, Checkpoint* out,
+                      std::string* error);
+
+/// File round trip. save is atomic: the bytes land in `path + ".tmp"`
+/// first and rename into place, so a crash mid-save never corrupts the
+/// previous checkpoint.
+bool save_checkpoint(const Checkpoint& ck, const std::string& path,
+                     std::string* error);
+bool load_checkpoint(const std::string& path, Checkpoint* out,
+                     std::string* error);
+
+/// Folds complete shard partials (each --shard K/M, all M present, every
+/// cursor at its total) into the checkpoint the unsharded run would have
+/// written: cell union (each (day, window) cell lives in exactly one
+/// shard), integer-exact timeline merge, cursor == full-grid total. Trace
+/// state is dropped -- shard trace files merge separately (`bba_merge
+/// traces`). Returns false with *error on dimension/shard-set mismatches.
+bool merge_checkpoints(const std::vector<Checkpoint>& parts, Checkpoint* out,
+                       std::string* error);
+
+/// CLI/env knobs shared by bba_abtest, bba_paper_report, and the benches.
+struct CheckpointOptions {
+  std::string out;        ///< --checkpoint-out FILE ("" = no checkpoints)
+  std::size_t every = 0;  ///< --checkpoint-every N keys (0 = only at end)
+  std::string resume;     ///< --resume FILE ("" = fresh run)
+  std::size_t shard_index = 1;  ///< --shard K/M, 1-based
+  std::size_t shard_count = 1;
+  /// Test hook (--checkpoint-kill N / $BBA_CHECKPOINT_KILL): exit(3) right
+  /// after the Nth checkpoint save, simulating a mid-run kill at an exact,
+  /// reproducible point. 0 = never.
+  std::size_t kill_after = 0;
+
+  bool any() const {
+    return !out.empty() || !resume.empty() || shard_count > 1;
+  }
+  bool resuming() const { return !resume.empty(); }
+  bool sharded() const { return shard_count > 1; }
+
+  /// Parses "K/M" (1 <= K <= M). Returns false on malformed input.
+  bool parse_shard(const std::string& spec);
+
+  /// Environment defaults: BBA_CHECKPOINT_OUT, BBA_CHECKPOINT_EVERY,
+  /// BBA_CHECKPOINT_RESUME, BBA_CHECKPOINT_SHARD ("K/M"),
+  /// BBA_CHECKPOINT_KILL. Unset variables leave the defaults above.
+  static CheckpointOptions from_env();
+};
+
+/// run_ab_test with checkpointing, resume, and sharding. With default
+/// options this IS run_ab_test (one chunk, no files): identical fold,
+/// identical bytes. Returns false with *error on a checkpoint problem
+/// (unreadable/corrupt file, dimension mismatch, trace mismatch); the
+/// simulation itself still aborts on programmer errors like run_ab_test.
+bool run_ab_test_checkpointed(const std::vector<Group>& groups,
+                              const media::VideoLibrary& library,
+                              const AbTestConfig& cfg,
+                              const CheckpointOptions& opts,
+                              AbTestResult* result, std::string* error);
+
+}  // namespace bba::exp

@@ -445,6 +445,12 @@ bool BinaryTraceSink::finish(std::string* out) const {
 
 BinaryTraceCollector::BinaryTraceCollector(TraceConfig cfg)
     : TraceCollector(std::move(cfg)) {
+  if (config().resume) {
+    // The interrupted run already wrote the header (its bytes are part of
+    // the checkpointed tallies); resume_from() restores offset_ and the
+    // index. Until then the collector must not be written to.
+    return;
+  }
   std::string header;
   header.append(kBtraceMagic, sizeof kBtraceMagic);
   put_u32(header, kBtraceVersion);
@@ -530,6 +536,29 @@ void BinaryTraceCollector::finalize() {
   tail.append(kBtraceTrailerMagic, sizeof kBtraceTrailerMagic);
   TraceCollector::write(tail);
   TraceCollector::flush();
+}
+
+bool BinaryTraceCollector::resume_from(const TraceResumeState& st,
+                                       std::string* error) {
+  BBA_ASSERT(!finalized_, "btrace resume_from after finalize()");
+  BBA_ASSERT(entries_.empty(), "btrace resume_from after write()");
+  if (!TraceCollector::resume_from(st, error)) return false;
+  offset_ = st.file_size;
+  if (config().path.empty()) return true;
+  // Rebuild the in-memory footer index from the truncated file. The scan
+  // visits blocks front to back, so groups intern in first-appearance
+  // order -- exactly the order the interrupted collector assigned ids.
+  BtraceReader reader;
+  if (!reader.open_scan(config().path, error)) {
+    *error = "rescanning truncated trace: " + *error;
+    return false;
+  }
+  groups_ = reader.groups();
+  entries_.reserve(reader.session_count());
+  for (std::size_t i = 0; i < reader.session_count(); ++i) {
+    entries_.push_back(reader.entry(i));
+  }
+  return true;
 }
 
 // --- BtraceReader ---------------------------------------------------------

@@ -108,6 +108,12 @@ class BinaryTraceCollector final : public TraceCollector {
   /// write() must not be called afterwards.
   void finalize() override;
 
+  /// TraceCollector::resume_from plus index recovery: after truncating to
+  /// the checkpointed offset, the file's blocks are rescanned (the
+  /// open_scan path) to rebuild the interned group table and footer
+  /// entries the interrupted collector held in memory, in the same order.
+  bool resume_from(const TraceResumeState& st, std::string* error) override;
+
   std::size_t indexed_sessions() const { return entries_.size(); }
 
  private:

@@ -131,6 +131,7 @@ ObsScope::ObsScope(const ObsOptions& opts, std::size_t threads_hint)
     cfg.path = opts.trace_out;
     cfg.sample = opts.trace_sample;
     cfg.anomaly_rebuffer_s = opts.anomaly_rebuffer_s;
+    cfg.resume = opts.trace_resume;
     if (opts.trace_format == "btrace") {
       handle_->trace = std::make_unique<BinaryTraceCollector>(std::move(cfg));
     } else {

@@ -25,6 +25,11 @@ struct ObsOptions {
   std::string metrics_out;   ///< metrics snapshot JSON path
   std::string profile_out;   ///< Chrome trace-event JSON path
   std::string timeline_out;  ///< fleet timeline artifact JSON path
+  /// Reopen trace_out for a checkpoint resume (TraceConfig::resume)
+  /// instead of truncating it. Set by the CLIs when --resume is given;
+  /// exp::run_ab_test_checkpointed then restores the collector state
+  /// before any session is written.
+  bool trace_resume = false;
   // Any of the three JSON outputs accepts "-": the exact file bytes go to
   // stdout and the notice line to stderr.
 

@@ -122,6 +122,19 @@ const GroupSketches& TimelineAggregator::sketches(std::size_t group) const {
   return sketches_[group];
 }
 
+TimelineCell& TimelineAggregator::mutable_cell(std::size_t day,
+                                               std::size_t window,
+                                               std::size_t group) {
+  BBA_ASSERT(day < days_ && window < windows_ && group < groups_.size(),
+             "timeline cell out of range");
+  return cells_[cell_index(day, window, group)];
+}
+
+GroupSketches& TimelineAggregator::mutable_sketches(std::size_t group) {
+  BBA_ASSERT(group < groups_.size(), "timeline group out of range");
+  return sketches_[group];
+}
+
 TimelineCell TimelineAggregator::group_total(std::size_t group) const {
   BBA_ASSERT(group < groups_.size(), "timeline group out of range");
   TimelineCell total;

@@ -117,6 +117,14 @@ class TimelineAggregator {
                            std::size_t group) const;
   const GroupSketches& sketches(std::size_t group) const;
 
+  /// Checkpoint-restore hooks (exp/checkpoint.cpp): mutable access to one
+  /// cell / one group's sketches after begin_run() declared the grid. The
+  /// cells are integers and the sketches rebuild through their raw-count
+  /// hooks, so a restored aggregator is bit-identical to the original.
+  TimelineCell& mutable_cell(std::size_t day, std::size_t window,
+                             std::size_t group);
+  GroupSketches& mutable_sketches(std::size_t group);
+
   /// Sum of a group's cells over the whole grid (per-round snapshots in
   /// the sequential engine's decision log).
   TimelineCell group_total(std::size_t group) const;

@@ -2,6 +2,8 @@
 
 #include <cinttypes>
 
+#include <unistd.h>
+
 #include "exp/session_key.hpp"
 #include "obs/trace_jsonl.hpp"
 #include "util/assert.hpp"
@@ -11,7 +13,9 @@ namespace bba::obs {
 
 TraceCollector::TraceCollector(TraceConfig cfg) : cfg_(std::move(cfg)) {
   if (!cfg_.path.empty()) {
-    file_ = std::fopen(cfg_.path.c_str(), "w");
+    // Resume mode reopens the interrupted run's file without truncating;
+    // resume_from() then cuts it back to the checkpointed offset.
+    file_ = std::fopen(cfg_.path.c_str(), cfg_.resume ? "r+b" : "wb");
     ok_ = file_ != nullptr;
   } else {
     ok_ = true;
@@ -68,6 +72,65 @@ void TraceCollector::write(const std::string& lines) {
 
 void TraceCollector::flush() {
   if (file_ != nullptr && std::fflush(file_) != 0) note_io_error("flush");
+}
+
+TraceResumeState TraceCollector::resume_state() {
+  flush();
+  TraceResumeState st;
+  st.format = format_name();
+  st.sample = cfg_.sample;
+  st.anomaly_rebuffer_s = cfg_.anomaly_rebuffer_s;
+  st.sessions_written = sessions_written_;
+  st.anomalies_written = anomalies_written_;
+  st.bytes_written = bytes_written_;
+  st.write_errors = write_errors_;
+  if (file_ != nullptr) {
+    const long pos = std::ftell(file_);
+    st.file_size = pos > 0 ? static_cast<std::uint64_t>(pos) : 0;
+  } else {
+    // No file (discard mode): the byte tally stands in for the offset so
+    // a resumed discard-mode collector keeps counting from the same point.
+    st.file_size = bytes_written_;
+  }
+  return st;
+}
+
+bool TraceCollector::resume_from(const TraceResumeState& st,
+                                 std::string* error) {
+  if (st.format != format_name()) {
+    *error = "checkpoint trace format is '" + st.format + "', this run is '" +
+             format_name() + "'";
+    return false;
+  }
+  if (st.sample != cfg_.sample) {
+    *error = "checkpoint trace sample does not match --trace-sample";
+    return false;
+  }
+  if (st.anomaly_rebuffer_s != cfg_.anomaly_rebuffer_s) {
+    *error = "checkpoint trace anomaly threshold does not match this run";
+    return false;
+  }
+  if (file_ != nullptr) {
+    std::fseek(file_, 0, SEEK_END);
+    const long end = std::ftell(file_);
+    if (end < 0 || static_cast<std::uint64_t>(end) < st.file_size) {
+      *error = "trace file " + cfg_.path +
+               " is shorter than the checkpoint recorded";
+      return false;
+    }
+    // Drop everything the interrupted process wrote past its checkpoint;
+    // those sessions are re-simulated and re-written bit-identically.
+    if (ftruncate(fileno(file_), static_cast<off_t>(st.file_size)) != 0) {
+      *error = "could not truncate " + cfg_.path + " to the checkpoint";
+      return false;
+    }
+    std::fseek(file_, 0, SEEK_END);
+  }
+  sessions_written_ = st.sessions_written;
+  anomalies_written_ = st.anomalies_written;
+  bytes_written_ = st.bytes_written;
+  write_errors_ = st.write_errors;
+  return true;
 }
 
 std::string TraceCollector::stats_json() const {

@@ -49,6 +49,25 @@ namespace bba::obs {
 
 class SessionTraceSink;
 
+/// The collector state a checkpoint (exp/checkpoint.hpp) carries: the
+/// write tallies plus the on-disk size at the checkpoint instant. Resuming
+/// truncates the file back to `file_size` -- everything the interrupted
+/// process wrote past its last checkpoint is discarded and re-simulated --
+/// so the resumed file is byte-identical to an uninterrupted run's.
+/// `format` / `sample` / `anomaly_rebuffer_s` pin the run configuration:
+/// resuming with different trace settings would change the emitted session
+/// set, so resume_from() rejects a mismatch.
+struct TraceResumeState {
+  std::string format;  ///< format_name() of the writing collector
+  std::uint64_t sample = 0;
+  double anomaly_rebuffer_s = 0.0;
+  std::uint64_t sessions_written = 0;
+  std::uint64_t anomalies_written = 0;
+  std::uint64_t bytes_written = 0;
+  std::uint64_t write_errors = 0;
+  std::uint64_t file_size = 0;  ///< flushed on-disk bytes at the checkpoint
+};
+
 /// Tracing parameters.
 struct TraceConfig {
   /// Output path; empty discards serialized sessions (benchmarks measure
@@ -65,6 +84,12 @@ struct TraceConfig {
 
   /// Anomaly trigger: capture abandoned / gave-up sessions.
   bool capture_abandoned = true;
+
+  /// Reopen `path` for appending instead of truncating it: a checkpoint
+  /// resume continues an interrupted run's trace file. The collector is
+  /// unusable until resume_from() restored the tallies and truncated the
+  /// file back to the checkpointed offset.
+  bool resume = false;
 
   bool anomalies_enabled() const {
     return capture_abandoned ||
@@ -120,6 +145,21 @@ class TraceCollector {
   /// no-op for JSONL; destructors call it too, so explicit calls are only
   /// needed to read a complete file while the collector is still alive.
   virtual void finalize() {}
+
+  /// Snapshot for a checkpoint: flushes, then captures the tallies and the
+  /// on-disk size. Call from the harness's checkpoint boundary (between
+  /// blocks, never mid-write).
+  TraceResumeState resume_state();
+
+  /// Restores a checkpointed state into a collector constructed with
+  /// TraceConfig::resume: validates the format/sample/anomaly settings,
+  /// truncates the file to st.file_size (discarding post-checkpoint
+  /// bytes), and adopts the tallies. Returns false with *error set on a
+  /// configuration mismatch or when the file is shorter than the
+  /// checkpoint recorded (the trace was lost or replaced). The btrace
+  /// override additionally rebuilds its footer index by rescanning the
+  /// truncated file's blocks.
+  virtual bool resume_from(const TraceResumeState& st, std::string* error);
 
   // Tallies for the metrics snapshot.
   std::uint64_t sessions_written() const { return sessions_written_; }

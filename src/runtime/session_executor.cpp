@@ -25,7 +25,10 @@ void SessionExecutor::execute(std::size_t count,
     pool_.parallel_for(0, count, grain, produce);
   }
   obs::ScopedTimer span(prof, 0, "executor.fold");
-  for (std::size_t i = 0; i < count; ++i) fold(i);
+  for (std::size_t i = 0; i < count; ++i) {
+    fold(i);
+    ++tasks_folded_;
+  }
 }
 
 void SessionExecutor::execute_slotted(
@@ -40,7 +43,10 @@ void SessionExecutor::execute_slotted(
     pool_.parallel_for_slots(0, count, grain, produce);
   }
   obs::ScopedTimer span(prof, 0, "executor.fold");
-  for (std::size_t i = 0; i < count; ++i) fold(i);
+  for (std::size_t i = 0; i < count; ++i) {
+    fold(i);
+    ++tasks_folded_;
+  }
 }
 
 }  // namespace bba::runtime

@@ -53,8 +53,17 @@ class SessionExecutor {
       const std::function<void(std::size_t, std::size_t)>& produce,
       const std::function<void(std::size_t)>& fold, std::size_t grain = 0);
 
+  /// Total fold() calls completed across every execute*() on this
+  /// executor. Because the fold is strictly sequential in index order,
+  /// this is an exact cursor into the canonical task sequence -- the
+  /// checkpoint layer reads it to know how far a chunked run has folded.
+  std::size_t tasks_folded() const { return tasks_folded_; }
+
+  void reset_tasks_folded() { tasks_folded_ = 0; }
+
  private:
   ThreadPool pool_;
+  std::size_t tasks_folded_ = 0;
 };
 
 }  // namespace bba::runtime

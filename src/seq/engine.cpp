@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 
 #include "exp/block.hpp"
@@ -80,15 +81,16 @@ double ci_half_width(const stats::Running& r, double confidence) {
 
 bool seq_metric_by_name(const std::string& name, SeqMetric* out) {
   if (name == "rebuffers") {
-    *out = {exp::rebuffers_per_hour_metric(), /*higher_is_better=*/false};
+    *out = {exp::rebuffers_per_hour_metric(), /*higher_is_better=*/false,
+            name};
   } else if (name == "rate") {
-    *out = {exp::avg_rate_kbps_metric(), true};
+    *out = {exp::avg_rate_kbps_metric(), true, name};
   } else if (name == "steady") {
-    *out = {exp::steady_rate_kbps_metric(), true};
+    *out = {exp::steady_rate_kbps_metric(), true, name};
   } else if (name == "startup") {
-    *out = {exp::startup_rate_kbps_metric(), true};
+    *out = {exp::startup_rate_kbps_metric(), true, name};
   } else if (name == "switches") {
-    *out = {exp::switches_per_hour_metric(), false};
+    *out = {exp::switches_per_hour_metric(), false, name};
   } else {
     return false;
   }
@@ -99,6 +101,24 @@ SeqResult run_sequential(const std::vector<exp::Group>& groups,
                          const media::VideoLibrary& library,
                          const exp::AbTestConfig& cfg,
                          const SeqMetric& metric, const SeqConfig& seq) {
+  // The checkpointed engine with default options is the plain run: no
+  // files, identical rounds, identical bytes.
+  SeqResult result;
+  std::string error;
+  const bool ok = run_sequential_checkpointed(
+      groups, library, cfg, metric, seq, exp::CheckpointOptions{}, &result,
+      &error);
+  BBA_ASSERT(ok, "run_sequential failed");
+  return result;
+}
+
+bool run_sequential_checkpointed(const std::vector<exp::Group>& groups,
+                                 const media::VideoLibrary& library,
+                                 const exp::AbTestConfig& cfg,
+                                 const SeqMetric& metric,
+                                 const SeqConfig& seq,
+                                 const exp::CheckpointOptions& opts,
+                                 SeqResult* out_result, std::string* error) {
   BBA_ASSERT(groups.size() >= 2, "sequential runs need >= 2 arms");
   BBA_ASSERT(seq.baseline < groups.size(), "baseline index out of range");
   BBA_ASSERT(seq.confidence > 0.0 && seq.confidence < 1.0,
@@ -106,12 +126,23 @@ SeqResult run_sequential(const std::vector<exp::Group>& groups,
   BBA_ASSERT(seq.batch_sessions >= 1, "batch_sessions must be >= 1");
   BBA_ASSERT(cfg.days >= 1 && cfg.sessions_per_window >= 1,
              "experiment dimensions must be >= 1");
+  BBA_ASSERT(opts.shard_count == 1,
+             "--shard partitions the fixed grid; sequential runs cannot "
+             "shard");
+  std::string scratch_error;
+  if (error == nullptr) error = &scratch_error;
+  SeqResult& result = *out_result;
+  result = SeqResult{};
 
   obs::Observability* o = obs::global();
   obs::Profiler* profiler = o != nullptr ? o->profiler.get() : nullptr;
   obs::ScopedTimer run_span(profiler, 0, "run_sequential");
   obs::TimelineAggregator* timeline =
       o != nullptr ? o->timeline.get() : nullptr;
+  obs::TraceCollector* tracer =
+      (o != nullptr && o->trace != nullptr && o->trace->ok())
+          ? o->trace.get()
+          : nullptr;
   if (timeline != nullptr) {
     std::vector<std::string> names;
     names.reserve(groups.size());
@@ -122,7 +153,6 @@ SeqResult run_sequential(const std::vector<exp::Group>& groups,
   const std::size_t n_arms = groups.size();
   const double direction = metric.higher_is_better ? 1.0 : -1.0;
 
-  SeqResult result;
   result.budget_sessions =
       seq.budget_sessions != 0
           ? seq.budget_sessions
@@ -151,7 +181,7 @@ SeqResult run_sequential(const std::vector<exp::Group>& groups,
     return sim;
   };
 
-  std::vector<std::size_t> sim = simulated_arms();
+  std::vector<std::size_t> sim;
   std::unique_ptr<exp::SessionBlockRunner> runner;
   auto rebuild_runner = [&] {
     std::vector<exp::Group> active;
@@ -159,7 +189,6 @@ SeqResult run_sequential(const std::vector<exp::Group>& groups,
     for (std::size_t a : sim) active.push_back(groups[a]);
     runner = std::make_unique<exp::SessionBlockRunner>(active, library, cfg);
   };
-  rebuild_runner();
 
   std::size_t next_key = 0;  ///< cursor into the canonical key sequence
   std::vector<exp::SessionKey> keys;
@@ -181,6 +210,164 @@ SeqResult run_sequential(const std::vector<exp::Group>& groups,
     }
     return best;
   };
+
+  // Final-result assembly, shared by the live path and a resume of an
+  // already-finished checkpoint.
+  auto finish_result = [&](const std::string& verdict) {
+    result.verdict = verdict;
+    const std::size_t winner = leader_of();
+    result.winner = winner < n_arms ? groups[winner].name : std::string();
+    result.arms.resize(n_arms);
+    for (std::size_t a = 0; a < n_arms; ++a) {
+      ArmReport& r = result.arms[a];
+      r.name = groups[a].name;
+      r.is_baseline = arms[a].is_baseline;
+      r.eliminated_round = arms[a].eliminated_round;
+      r.n = arms[a].deltas.count();
+      r.mean = arms[a].deltas.mean();
+      r.lo = arms[a].lo;
+      r.hi = arms[a].hi;
+    }
+    // Observability: strictly observational tallies of what adaptivity
+    // bought (no simulation value reads them, so results stay
+    // bit-identical with obs on or off).
+    obs::count(obs::Counter::kSeqBatches, result.rounds);
+    obs::count(obs::Counter::kSeqSessions, result.sessions_used);
+    obs::count(obs::Counter::kSeqSessionsSaved,
+               result.budget_sessions - result.sessions_used);
+  };
+
+  // Round-boundary checkpoint: the complete engine state, kind = 1.
+  std::size_t saves = 0;
+  auto save_seq = [&](const std::string& verdict) -> bool {
+    exp::Checkpoint ck;
+    ck.kind = 1;
+    ck.seed = cfg.seed;
+    ck.days = cfg.days;
+    ck.windows_per_day = exp::kWindowsPerDay;
+    ck.sessions_per_window = cfg.sessions_per_window;
+    ck.total_keys = result.budget_sessions;
+    ck.cursor = result.sessions_used;
+    ck.groups = result.cells.group_names;
+    ck.cells = result.cells.cells;
+    if (timeline != nullptr && timeline->configured()) {
+      ck.has_timeline = true;
+      ck.timeline = *timeline;
+    }
+    if (tracer != nullptr) {
+      ck.has_trace = true;
+      ck.trace = tracer->resume_state();  // flushes first
+    }
+    ck.has_seq = true;
+    exp::CheckpointSeq& cs = ck.seq;
+    cs.rounds = result.rounds;
+    cs.sessions_used = result.sessions_used;
+    cs.budget_sessions = result.budget_sessions;
+    cs.next_key = next_key;
+    cs.batch_sessions = seq.batch_sessions;
+    cs.min_batches = seq.min_batches;
+    cs.baseline = seq.baseline;
+    cs.confidence = seq.confidence;
+    cs.metric = metric.name;
+    cs.verdict = verdict;
+    cs.arms.resize(n_arms);
+    for (std::size_t a = 0; a < n_arms; ++a) {
+      exp::CheckpointSeq::Arm& ca = cs.arms[a];
+      ca.candidate = arms[a].candidate;
+      ca.eliminated_round = arms[a].eliminated_round;
+      ca.n = arms[a].deltas.count();
+      ca.mean = arms[a].deltas.mean();
+      ca.m2 = arms[a].deltas.m2();
+      ca.lo = arms[a].lo;
+      ca.hi = arms[a].hi;
+    }
+    cs.decision_log = result.decision_log;
+    if (!exp::save_checkpoint(ck, opts.out, error)) return false;
+    ++saves;
+    std::fprintf(stderr, "checkpoint: wrote %s (round %llu)\n",
+                 opts.out.c_str(),
+                 static_cast<unsigned long long>(result.rounds));
+    if (opts.kill_after != 0 && saves >= opts.kill_after) {
+      std::fprintf(stderr,
+                   "checkpoint: --checkpoint-kill %llu reached, exiting\n",
+                   static_cast<unsigned long long>(opts.kill_after));
+      std::_Exit(3);
+    }
+    return true;
+  };
+
+  if (opts.resuming()) {
+    exp::Checkpoint ck;
+    if (!exp::load_checkpoint(opts.resume, &ck, error)) return false;
+    if (ck.kind != 1 || !ck.has_seq) {
+      *error = opts.resume +
+               " checkpoints a fixed-budget run; resume it without "
+               "--sequential";
+      return false;
+    }
+    if (ck.seed != cfg.seed || ck.days != cfg.days ||
+        ck.windows_per_day != exp::kWindowsPerDay ||
+        ck.sessions_per_window != cfg.sessions_per_window) {
+      *error = opts.resume +
+               " was checkpointed with different run dimensions or seed";
+      return false;
+    }
+    if (ck.groups != result.cells.group_names) {
+      *error = opts.resume + " was checkpointed with different groups";
+      return false;
+    }
+    const exp::CheckpointSeq& cs = ck.seq;
+    if (cs.metric != metric.name || cs.confidence != seq.confidence ||
+        cs.batch_sessions != seq.batch_sessions ||
+        cs.min_batches != seq.min_batches || cs.baseline != seq.baseline ||
+        cs.budget_sessions != result.budget_sessions ||
+        cs.arms.size() != n_arms) {
+      *error = opts.resume +
+               " was checkpointed with different engine knobs or metric";
+      return false;
+    }
+    result.rounds = static_cast<std::size_t>(cs.rounds);
+    result.sessions_used = static_cast<std::size_t>(cs.sessions_used);
+    result.decision_log = cs.decision_log;
+    result.cells.cells = std::move(ck.cells);
+    next_key = static_cast<std::size_t>(cs.next_key);
+    for (std::size_t a = 0; a < n_arms; ++a) {
+      arms[a].candidate = cs.arms[a].candidate;
+      arms[a].eliminated_round =
+          static_cast<std::size_t>(cs.arms[a].eliminated_round);
+      arms[a].deltas = stats::Running::from_moments(
+          cs.arms[a].n, cs.arms[a].mean, cs.arms[a].m2);
+      arms[a].lo = cs.arms[a].lo;
+      arms[a].hi = cs.arms[a].hi;
+    }
+    if (timeline != nullptr) {
+      if (!ck.has_timeline) {
+        *error = "--timeline-out is set but " + opts.resume +
+                 " has no timeline section";
+        return false;
+      }
+      *timeline = ck.timeline;
+    }
+    if (tracer != nullptr) {
+      if (!ck.has_trace) {
+        *error = "--trace-out is set but " + opts.resume +
+                 " has no trace section";
+        return false;
+      }
+      if (!tracer->resume_from(ck.trace, error)) return false;
+    }
+    std::fprintf(stderr, "checkpoint: resumed %s at round %llu\n",
+                 opts.resume.c_str(),
+                 static_cast<unsigned long long>(cs.rounds));
+    if (!cs.verdict.empty()) {
+      // The run already finished: re-render the result; simulate nothing.
+      finish_result(cs.verdict);
+      return true;
+    }
+  }
+
+  sim = simulated_arms();
+  rebuild_runner();
 
   std::string stop_reason;  // empty while running
   while (true) {
@@ -334,6 +521,13 @@ SeqResult run_sequential(const std::vector<exp::Group>& groups,
     }
     log += "}\n";
 
+    // Mid-run rounds checkpoint here, after the log line: resuming replays
+    // nothing and continues at the next round boundary. The final round's
+    // state is saved after the verdict line below instead, so a finished
+    // checkpoint always carries the complete decision log.
+    if (!opts.out.empty() && stop_reason.empty()) {
+      if (!save_seq("")) return false;
+    }
     if (!stop_reason.empty()) break;
     if (!eliminated_now.empty()) {
       runner->finish();
@@ -343,9 +537,7 @@ SeqResult run_sequential(const std::vector<exp::Group>& groups,
   }
   runner->finish();
 
-  result.verdict = stop_reason;
-  const std::size_t winner = leader_of();
-  result.winner = winner < n_arms ? groups[winner].name : std::string();
+  finish_result(stop_reason);
 
   // Final verdict line: what a dashboard (or the seq-smoke CI job) reads.
   std::string& log = result.decision_log;
@@ -363,26 +555,10 @@ SeqResult run_sequential(const std::vector<exp::Group>& groups,
   append_double(log, result.saved_fraction());
   log += "}\n";
 
-  result.arms.resize(n_arms);
-  for (std::size_t a = 0; a < n_arms; ++a) {
-    ArmReport& r = result.arms[a];
-    r.name = groups[a].name;
-    r.is_baseline = arms[a].is_baseline;
-    r.eliminated_round = arms[a].eliminated_round;
-    r.n = arms[a].deltas.count();
-    r.mean = arms[a].deltas.mean();
-    r.lo = arms[a].lo;
-    r.hi = arms[a].hi;
+  if (!opts.out.empty()) {
+    if (!save_seq(stop_reason)) return false;
   }
-
-  // Observability: strictly observational tallies of what adaptivity
-  // bought (no simulation value reads them, so results stay bit-identical
-  // with obs on or off).
-  obs::count(obs::Counter::kSeqBatches, result.rounds);
-  obs::count(obs::Counter::kSeqSessions, result.sessions_used);
-  obs::count(obs::Counter::kSeqSessionsSaved,
-             result.budget_sessions - result.sessions_used);
-  return result;
+  return true;
 }
 
 }  // namespace bba::seq

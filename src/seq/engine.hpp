@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "exp/abtest.hpp"
+#include "exp/checkpoint.hpp"
 #include "exp/report.hpp"
 #include "media/video.hpp"
 #include "stats/descriptive.hpp"
@@ -46,6 +47,9 @@ namespace bba::seq {
 struct SeqMetric {
   exp::MetricDef def;
   bool higher_is_better = false;
+  /// CLI name (seq_metric_by_name sets it). Checkpoints record it so a
+  /// resume can verify the run uses the same decision metric.
+  std::string name;
 };
 
 /// Metric by CLI name (rebuffers|rate|steady|startup|switches) with the
@@ -121,5 +125,23 @@ SeqResult run_sequential(const std::vector<exp::Group>& groups,
                          const media::VideoLibrary& library,
                          const exp::AbTestConfig& cfg,
                          const SeqMetric& metric, const SeqConfig& seq);
+
+/// run_sequential with checkpoint/resume (exp/checkpoint.hpp). Rounds are
+/// the checkpoint grain: with --checkpoint-out set, the full engine state
+/// -- per-arm stats::Running moments, cursor into the canonical key
+/// sequence, window cells, timeline, trace offset, decision log -- is
+/// saved after every completed round, and a resumed run continues at the
+/// next round boundary, reproducing the uninterrupted run's decision log,
+/// report, timeline, and trace byte for byte at any --threads. Resuming a
+/// finished checkpoint (verdict set) re-renders the result without
+/// simulating. Sharding is a fixed-run concept; opts.shard_count must be
+/// 1. Returns false with *error on checkpoint problems.
+bool run_sequential_checkpointed(const std::vector<exp::Group>& groups,
+                                 const media::VideoLibrary& library,
+                                 const exp::AbTestConfig& cfg,
+                                 const SeqMetric& metric,
+                                 const SeqConfig& seq,
+                                 const exp::CheckpointOptions& opts,
+                                 SeqResult* result, std::string* error);
 
 }  // namespace bba::seq

@@ -125,11 +125,19 @@ class QuantileSketch {
         q * static_cast<double>(count_ - 1) + 0.5);
     if (rank < zero_) return 0.0;
     std::uint64_t cum = zero_;
+    int last_occupied = -1;
     for (int b = 0; b < kBuckets; ++b) {
       cum += buckets_[b];
+      if (buckets_[b] != 0) last_occupied = b;
       if (rank < cum) return bucket_mid(b);
     }
-    return bucket_mid(kBuckets - 1);
+    // Rounding can push the rank past every occupied bucket: for count_ >=
+    // 2^53, (double)(count_ - 1) + 0.5 may round up to count_ itself, so
+    // `rank < cum` never fires. Report the highest occupied bucket -- never
+    // bucket_mid(kBuckets - 1), the top of the whole ~5.6e14 range, which
+    // the sketch may not contain at all.
+    if (last_occupied >= 0) return bucket_mid(last_occupied);
+    return 0.0;  // all mass in the zero bucket
   }
 
   /// Appends the sketch state as JSON members (no surrounding braces):

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstdint>
 #include <vector>
 
 #include <cstdio>
@@ -220,6 +222,119 @@ TEST(AbTest, PerDayExtraction) {
   ASSERT_EQ(values.size(), 3u);
   EXPECT_DOUBLE_EQ(values[0], 0.0);
   EXPECT_DOUBLE_EQ(values[2], 2.0);
+}
+
+// A deterministic batch of sessions with wildly mixed weights (seconds to
+// weeks of play time), the adversarial case for order-sensitive weighted
+// incremental means.
+std::vector<sim::SessionMetrics> fold_fixture() {
+  const double plays[] = {1e7, 3.0, 0.25, 9e4, 1.0, 4.5e6, 60.0, 7200.0};
+  std::vector<sim::SessionMetrics> sessions;
+  for (std::size_t i = 0; i < std::size(plays); ++i) {
+    sim::SessionMetrics m;
+    m.play_s = plays[i];
+    m.rebuffer_count = static_cast<long long>(i % 3);
+    m.rebuffer_s = 0.3 * static_cast<double>(i);
+    m.avg_rate_bps = 1e6 + 7e5 * static_cast<double>(i);
+    m.startup_rate_bps = 8e5 + 1e5 * static_cast<double>(i);
+    m.steady_rate_bps = 1.2e6 + 3e5 * static_cast<double>(i);
+    m.has_steady = plays[i] > 120.0;
+    m.steady_play_s = m.has_steady ? plays[i] - 120.0 : 0.0;
+    m.switch_count = static_cast<long long>(i);
+    sessions.push_back(m);
+  }
+  return sessions;
+}
+
+std::uint64_t bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+bool bit_equal(const WindowMetrics& a, const WindowMetrics& b) {
+  return bits(a.play_hours) == bits(b.play_hours) &&
+         bits(a.rebuffer_count) == bits(b.rebuffer_count) &&
+         bits(a.rebuffer_s) == bits(b.rebuffer_s) &&
+         bits(a.avg_rate_bps) == bits(b.avg_rate_bps) &&
+         bits(a.startup_rate_bps) == bits(b.startup_rate_bps) &&
+         bits(a.steady_rate_bps) == bits(b.steady_rate_bps) &&
+         bits(a.switch_count) == bits(b.switch_count) &&
+         bits(a.steady_play_hours) == bits(b.steady_play_hours) &&
+         bits(a.fault_stall_count) == bits(b.fault_stall_count) &&
+         a.sessions == b.sessions;
+}
+
+TEST(AbTest, AccumulateSessionCanonicalOrderIsByteStable) {
+  // The fold contract behind checkpoint/resume: folding the same sessions
+  // in the same (canonical) order always lands on bit-identical doubles.
+  const std::vector<sim::SessionMetrics> sessions = fold_fixture();
+  WindowMetrics a, b;
+  for (const auto& m : sessions) accumulate_session(a, m);
+  for (const auto& m : sessions) accumulate_session(b, m);
+  EXPECT_TRUE(bit_equal(a, b));
+}
+
+TEST(AbTest, AccumulateSessionSplitAndContinueIsByteNeutral) {
+  // What a checkpoint does: fold a prefix, snapshot the raw cell bits,
+  // CONTINUE folding from the snapshot. Every split point must land on the
+  // same bits as the uninterrupted fold -- the incremental mean only reads
+  // its own current value, never the history.
+  const std::vector<sim::SessionMetrics> sessions = fold_fixture();
+  WindowMetrics whole;
+  for (const auto& m : sessions) accumulate_session(whole, m);
+  for (std::size_t split = 0; split <= sessions.size(); ++split) {
+    WindowMetrics prefix;
+    for (std::size_t i = 0; i < split; ++i) {
+      accumulate_session(prefix, sessions[i]);
+    }
+    WindowMetrics resumed = prefix;  // the bit-exact checkpoint restore
+    for (std::size_t i = split; i < sessions.size(); ++i) {
+      accumulate_session(resumed, sessions[i]);
+    }
+    EXPECT_TRUE(bit_equal(resumed, whole)) << "split=" << split;
+  }
+}
+
+TEST(AbTest, AccumulateSessionIsOrderSensitive) {
+  // The reason a resume must CONTINUE the canonical fold rather than
+  // re-fold in any convenient order: the weighted incremental means are
+  // not associative, and a permuted fold is allowed to (and here does)
+  // land on different low bits. Only canonical order is pinned.
+  const std::vector<sim::SessionMetrics> sessions = fold_fixture();
+  WindowMetrics forward, reversed;
+  for (const auto& m : sessions) accumulate_session(forward, m);
+  for (auto it = sessions.rbegin(); it != sessions.rend(); ++it) {
+    accumulate_session(reversed, *it);
+  }
+  // The integer-like tallies are order-independent...
+  EXPECT_EQ(forward.sessions, reversed.sessions);
+  EXPECT_EQ(bits(forward.rebuffer_count), bits(reversed.rebuffer_count));
+  EXPECT_EQ(bits(forward.switch_count), bits(reversed.switch_count));
+  // ...but the incremental means are not bit-stable under permutation.
+  EXPECT_NE(bits(forward.avg_rate_bps), bits(reversed.avg_rate_bps));
+  // They still agree to floating-point accuracy, of course.
+  EXPECT_NEAR(forward.avg_rate_bps / reversed.avg_rate_bps, 1.0, 1e-9);
+}
+
+TEST(AbTest, MergedIsByteStableOnBitEqualCells) {
+  // merged() folds day cells in day order with the same incremental-mean
+  // shape; on bit-equal inputs (what a checkpoint restore guarantees) it
+  // must reproduce bit-equal output, every time it is called.
+  const std::vector<sim::SessionMetrics> sessions = fold_fixture();
+  AbTestResult r;
+  r.group_names = {"g"};
+  r.cells.resize(1);
+  r.cells[0].resize(3, std::vector<WindowMetrics>(kWindowsPerDay));
+  for (std::size_t d = 0; d < 3; ++d) {
+    for (std::size_t i = 0; i < sessions.size(); ++i) {
+      if (i % 3 == d % 3) {
+        accumulate_session(r.cells[0][d][4], sessions[i]);
+      }
+    }
+  }
+  const WindowMetrics m1 = r.merged(0, 4);
+  const WindowMetrics m2 = r.merged(0, 4);
+  EXPECT_TRUE(bit_equal(m1, m2));
+
+  AbTestResult copy = r;  // bit-exact restore of every cell
+  EXPECT_TRUE(bit_equal(copy.merged(0, 4), m1));
 }
 
 TEST(Report, MeanNormalizedIsRatioOfTotals) {

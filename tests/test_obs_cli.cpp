@@ -1,0 +1,182 @@
+// Tests for the bba_obs CLI's shared pieces (tools/): the strict
+// bba.timeline.v1 artifact parser, the skipped-cell accounting in
+// normalized_samples (bba_obs diff used to silently thin sparse grids),
+// and the strict numeric flag validators that replaced atoi/atof.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cli_parse.hpp"
+#include "obs_artifact.hpp"
+#include "obs/timeline.hpp"
+#include "sim/metrics.hpp"
+
+namespace bba::tools {
+namespace {
+
+TEST(CliParse, U64AndCounts) {
+  std::uint64_t u = 0;
+  EXPECT_TRUE(parse_u64("42", &u));
+  EXPECT_EQ(u, 42u);
+  EXPECT_TRUE(parse_u64("0", &u));
+  for (const char* bad : {"", "-5", "+5", "4x", "x4", " 4", "4 "}) {
+    EXPECT_FALSE(parse_u64(bad, &u)) << bad;
+  }
+
+  std::size_t n = 0;
+  EXPECT_TRUE(parse_count("7", &n));
+  EXPECT_EQ(n, 7u);
+  EXPECT_FALSE(parse_count("0", &n));
+  EXPECT_FALSE(parse_count("-1", &n));
+  EXPECT_TRUE(parse_count0("0", &n));
+  EXPECT_EQ(n, 0u);
+}
+
+TEST(CliParse, UnitOpenRejectsGarbageAndBounds) {
+  double v = 0.0;
+  EXPECT_TRUE(parse_unit_open("0.95", &v));
+  EXPECT_DOUBLE_EQ(v, 0.95);
+  EXPECT_TRUE(parse_unit_open("1e-3", &v));
+  // atof would have accepted every one of these as 0.0 or worse.
+  for (const char* bad :
+       {"pony", "", "0", "1", "1.0", "0.0", "-0.5", "2", "0.5x", "nan"}) {
+    EXPECT_FALSE(parse_unit_open(bad, &v)) << bad;
+  }
+}
+
+/// The real writer/reader contract: an artifact rendered by
+/// obs::TimelineAggregator::to_json() parses back field-for-field.
+TEST(ObsArtifact, ParsesAggregatorOutput) {
+  obs::TimelineAggregator agg;
+  agg.begin_run(77, {"control", "bba2"}, 2, 12);
+  sim::SessionMetrics m;
+  m.play_s = 600.0;
+  m.join_s = 1.5;
+  m.rebuffer_count = 3;
+  m.rebuffer_s = 4.5;
+  m.avg_rate_bps = 3.0e6;
+  m.avg_buffer_s = 20.0;
+  m.switch_count = 2;
+  agg.record(0, 5, 0, m);
+  agg.record(0, 5, 1, m);
+  m.abandoned = true;
+  m.rebuffer_count = 0;
+  agg.record(1, 11, 1, m);
+
+  Artifact a;
+  std::string error;
+  ASSERT_TRUE(parse_artifact(agg.to_json(), "mem", &a, &error)) << error;
+  EXPECT_EQ(a.seed, 77u);
+  EXPECT_EQ(a.days, 2u);
+  EXPECT_EQ(a.windows, 12u);
+  ASSERT_EQ(a.groups.size(), 2u);
+  EXPECT_EQ(a.groups[0], "control");
+  EXPECT_EQ(a.groups[1], "bba2");
+  ASSERT_EQ(a.cells.size(), 3u);
+  EXPECT_EQ(a.cells[0].day, 0u);
+  EXPECT_EQ(a.cells[0].window, 5u);
+  EXPECT_EQ(a.cells[0].sessions, 1u);
+  EXPECT_EQ(a.cells[0].rebuffers, 3u);
+  EXPECT_EQ(a.cells[0].play_micro, 600000000u);
+  ASSERT_EQ(a.sketches.size(), 2 * kNumSketchMetrics);
+  // Group 1 recorded two sessions; its rate sketch holds both.
+  EXPECT_EQ(a.sketches[1 * kNumSketchMetrics + 0].count(), 2u);
+
+  const std::vector<CellData> totals = a.group_totals();
+  EXPECT_EQ(totals[0].sessions, 1u);
+  EXPECT_EQ(totals[1].sessions, 2u);
+  EXPECT_EQ(totals[1].abandoned, 1u);
+  const std::vector<CellData> by_window = a.merged_by_window();
+  ASSERT_EQ(by_window.size(), 12u * 2u);
+  EXPECT_EQ(by_window[5 * 2 + 0].sessions, 1u);
+  EXPECT_EQ(by_window[11 * 2 + 1].sessions, 1u);
+}
+
+TEST(ObsArtifact, RejectsMalformedInput) {
+  obs::TimelineAggregator agg;
+  agg.begin_run(1, {"a"}, 1, 12);
+  const std::string good = agg.to_json();
+
+  Artifact a;
+  std::string error;
+  // Wrong schema tag.
+  std::string wrong = good;
+  wrong.replace(wrong.find("v1"), 2, "v9");
+  EXPECT_FALSE(parse_artifact(wrong, "p", &a, &error));
+  EXPECT_NE(error.find("p: "), std::string::npos);
+
+  // Truncation anywhere fails loudly.
+  a = Artifact{};
+  EXPECT_FALSE(
+      parse_artifact(good.substr(0, good.size() / 2), "p", &a, &error));
+
+  // Cell with out-of-range indices.
+  a = Artifact{};
+  const std::string bad_cell =
+      "{\"schema\":\"bba.timeline.v1\",\"seed\":1,\"days\":1,"
+      "\"windows_per_day\":12,\"groups\":[\"a\"],\"cells\":["
+      "{\"day\":0,\"window\":12,\"group\":0,\"sessions\":1,\"abandoned\":0,"
+      "\"rebuffers\":0,\"fault_stalls\":0,\"switches\":0,\"play_micro\":1,"
+      "\"rebuffer_micro\":0,\"join_micro\":0,\"rate_play_kbit\":0}],"
+      "\"sketches\":[]}";
+  EXPECT_FALSE(parse_artifact(bad_cell, "p", &a, &error));
+  EXPECT_NE(error.find("out of range"), std::string::npos);
+
+  // Sketch whose buckets do not sum to its declared count.
+  a = Artifact{};
+  const std::string bad_sketch =
+      "{\"schema\":\"bba.timeline.v1\",\"seed\":1,\"days\":1,"
+      "\"windows_per_day\":12,\"groups\":[\"a\"],\"cells\":[],"
+      "\"sketches\":[{\"group\":0,\"metric\":\"rate_bps\",\"zero\":0,"
+      "\"count\":5,\"buckets\":[[100,2]]}]}";
+  EXPECT_FALSE(parse_artifact(bad_sketch, "p", &a, &error));
+  EXPECT_NE(error.find("sum"), std::string::npos);
+}
+
+/// bba_obs diff's skip accounting: cells with no sample on either side
+/// are counted, not silently dropped.
+TEST(ObsArtifact, NormalizedSamplesCountSkippedCells) {
+  Artifact a;
+  a.days = 1;
+  a.windows = 4;
+  a.groups = {"base", "treat"};
+
+  auto cell = [](std::size_t w, std::size_t g, unsigned long long sessions,
+                 unsigned long long rebuffers,
+                 unsigned long long play_micro) {
+    CellData c;
+    c.window = w;
+    c.group = g;
+    c.sessions = sessions;
+    c.rebuffers = rebuffers;
+    c.play_micro = play_micro;
+    return c;
+  };
+  const unsigned long long hour = 3600ull * 1000000ull;
+  // Window 0: defined on both sides -> one sample (ratio 2.0).
+  a.cells.push_back(cell(0, 0, 10, 4, hour));
+  a.cells.push_back(cell(0, 1, 10, 8, hour));
+  // Window 1: baseline side has zero sessions -> skipped.
+  a.cells.push_back(cell(1, 1, 10, 1, hour));
+  // Window 2: baseline defined but rebuffer rate is 0 -> skipped
+  // (undefined ratio).
+  a.cells.push_back(cell(2, 0, 10, 0, hour));
+  a.cells.push_back(cell(2, 1, 10, 1, hour));
+  // Window 3: absent on both sides -> skipped.
+
+  std::size_t skipped = 0;
+  const std::vector<double> samples = normalized_samples(
+      a, 1, 0, &CellData::rebuf_per_hour, &skipped);
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_DOUBLE_EQ(samples[0], 2.0);
+  EXPECT_EQ(skipped, 3u);
+
+  // The out-param is optional, as the summary path uses it.
+  EXPECT_EQ(normalized_samples(a, 1, 0, &CellData::rebuf_per_hour).size(),
+            1u);
+}
+
+}  // namespace
+}  // namespace bba::tools

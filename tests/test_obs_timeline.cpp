@@ -90,6 +90,25 @@ TEST(QuantileSketch, MergeEqualsCombinedInsert) {
   EXPECT_EQ(sketch_json(swapped), sketch_json(combined));
 }
 
+TEST(QuantileSketch, RankPastAllBucketsReturnsHighestOccupied) {
+  // With count >= 2^53, q*(count-1)+0.5 rounds up to count itself, so the
+  // cumulative walk never satisfies rank < cum and quantile() falls out of
+  // the loop. The estimate must be the highest OCCUPIED bucket's midpoint
+  // -- a regression pinned the top of the whole range (bucket kBuckets-1,
+  // ~5.6e14) instead, a value the sketch never contained.
+  stats::QuantileSketch s;
+  const int b = stats::QuantileSketch::bucket_of(1000.0);
+  s.add_bucket(b, std::uint64_t{1} << 53);
+  EXPECT_EQ(s.quantile(1.0), stats::QuantileSketch::bucket_mid(b));
+  EXPECT_LT(s.quantile(1.0), 2000.0);
+
+  // All mass in the zero bucket: the fallthrough reports 0.0, not a
+  // fabricated positive value.
+  stats::QuantileSketch zeros;
+  zeros.add_zero(std::uint64_t{1} << 53);
+  EXPECT_EQ(zeros.quantile(1.0), 0.0);
+}
+
 TEST(QuantileSketch, DeserializationHooksRoundTrip) {
   stats::QuantileSketch s;
   s.add(3.5, 4);

@@ -30,6 +30,7 @@
 #include "core/bba2.hpp"
 #include "core/bba_others.hpp"
 #include "exp/abtest.hpp"
+#include "exp/checkpoint.hpp"
 #include "exp/dump.hpp"
 #include "exp/report.hpp"
 #include "media/video.hpp"
@@ -105,6 +106,18 @@ void usage(const char* argv0) {
       "                          default 0.95)\n"
       "          [--min-batches K] (rounds before eliminating, default 2)\n"
       "          [--seq-log FILE] (decision log JSONL; default stdout)\n"
+      "          [--checkpoint-out FILE] [--checkpoint-every N]\n"
+      "                          (write a resumable bbackpt checkpoint\n"
+      "                          every N keys -- every round when\n"
+      "                          --sequential -- and at the end;\n"
+      "                          docs/checkpoint.md)\n"
+      "          [--resume FILE] (continue a checkpointed run; output is\n"
+      "                          byte-identical to the uninterrupted run)\n"
+      "          [--shard K/M]   (run shard K of M: the (day,window) grid\n"
+      "                          partitioned deterministically; merge the\n"
+      "                          partial checkpoints with bba_merge)\n"
+      "          (env: BBA_CHECKPOINT_OUT, BBA_CHECKPOINT_EVERY,\n"
+      "           BBA_CHECKPOINT_RESUME, BBA_CHECKPOINT_SHARD)\n"
       "%s"
       "groups: control throughput pid elastic bola rmin-always bba0 bba1 "
       "bba2 bba-others\n",
@@ -133,6 +146,7 @@ int main(int argc, char** argv) {
   std::string seq_log_path;
   if (const char* env = std::getenv("BBA_FAULTS")) faults_spec = env;
   obs::ObsOptions obs_opts = obs::ObsOptions::from_env();
+  exp::CheckpointOptions ckpt = exp::CheckpointOptions::from_env();
 
   for (int i = 1; i < argc; ++i) {
     if (obs_opts.consume_arg(argc, argv, i)) continue;
@@ -195,6 +209,27 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--seq-log") {
       seq_log_path = next("--seq-log");
+    } else if (arg == "--checkpoint-out") {
+      ckpt.out = next("--checkpoint-out");
+    } else if (arg == "--checkpoint-every") {
+      const char* v = next("--checkpoint-every");
+      if (!tools::parse_count(v, &ckpt.every)) {
+        bad_value("--checkpoint-every", "a positive key count", v);
+      }
+    } else if (arg == "--resume") {
+      ckpt.resume = next("--resume");
+    } else if (arg == "--shard") {
+      const char* v = next("--shard");
+      if (!ckpt.parse_shard(v)) {
+        bad_value("--shard", "K/M with 1 <= K <= M", v);
+      }
+    } else if (arg == "--checkpoint-kill") {
+      // Test hook (the resume-smoke CI job): exit(3) right after the Nth
+      // checkpoint save, an exactly reproducible mid-run kill.
+      const char* v = next("--checkpoint-kill");
+      if (!tools::parse_count(v, &ckpt.kill_after)) {
+        bad_value("--checkpoint-kill", "a positive save count", v);
+      }
     } else {
       usage(argv[0]);
       return arg == "--help" || arg == "-h" ? 0 : 2;
@@ -209,6 +244,21 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--sequential needs at least two groups\n");
     return 2;
   }
+  if (sequential && ckpt.sharded()) {
+    std::fprintf(stderr,
+                 "--shard partitions the fixed (day, window) grid; "
+                 "sequential runs cannot shard\n");
+    return 2;
+  }
+  if (ckpt.sharded() && ckpt.out.empty() && !ckpt.resuming()) {
+    std::fprintf(stderr,
+                 "--shard needs --checkpoint-out (the shard's partial "
+                 "result IS its checkpoint)\n");
+    return 2;
+  }
+  // A resumed run reopens the interrupted run's trace file and truncates
+  // it back to the checkpoint instead of starting over.
+  obs_opts.trace_resume = ckpt.resuming();
   std::string faults_error;
   if (!net::parse_fault_plan(faults_spec, &cfg.population.faults,
                              &faults_error)) {
@@ -257,8 +307,13 @@ int main(int argc, char** argv) {
                 groups.size() * cfg.sessions_per_window * cfg.days *
                     exp::kWindowsPerDay,
                 static_cast<unsigned long long>(cfg.seed));
-    const seq::SeqResult sr =
-        seq::run_sequential(groups, library, cfg, seq_metric, seq_cfg);
+    seq::SeqResult sr;
+    std::string ckpt_error;
+    if (!seq::run_sequential_checkpointed(groups, library, cfg, seq_metric,
+                                          seq_cfg, ckpt, &sr, &ckpt_error)) {
+      std::fprintf(stderr, "checkpoint: %s\n", ckpt_error.c_str());
+      return 1;
+    }
 
     std::printf("%-14s %10s %12s %24s  %s\n", "arm", "sessions", "mean d",
                 "CI", "status");
@@ -302,7 +357,13 @@ int main(int argc, char** argv) {
               "(seed %llu)...\n\n",
               groups.size(), cfg.sessions_per_window, cfg.days,
               static_cast<unsigned long long>(cfg.seed));
-  const exp::AbTestResult result = exp::run_ab_test(groups, library, cfg);
+  exp::AbTestResult result;
+  std::string ckpt_error;
+  if (!exp::run_ab_test_checkpointed(groups, library, cfg, ckpt, &result,
+                                     &ckpt_error)) {
+    std::fprintf(stderr, "checkpoint: %s\n", ckpt_error.c_str());
+    return 1;
+  }
 
   exp::print_absolute_by_window(result, metric);
   std::printf("\n");

@@ -15,7 +15,9 @@ namespace bba::tools {
 /// Unsigned integer, whole token, no sign. Returns false on any trailing
 /// garbage, empty string, or '-'/'+' prefix.
 inline bool parse_u64(const char* s, std::uint64_t* out) {
-  if (s == nullptr || *s == '\0' || *s == '-' || *s == '+') return false;
+  // strtoull skips leading whitespace and accepts a sign; require the
+  // token to start with a digit so " 4" and "-5" both fail.
+  if (s == nullptr || *s < '0' || *s > '9') return false;
   char* end = nullptr;
   const unsigned long long v = std::strtoull(s, &end, 10);
   if (end == s || *end != '\0') return false;
@@ -41,7 +43,9 @@ inline bool parse_count0(const char* s, std::size_t* out) {
 
 /// Double strictly inside (0, 1) (e.g. --confidence).
 inline bool parse_unit_open(const char* s, double* out) {
-  if (s == nullptr || *s == '\0') return false;
+  // Same whole-token discipline: no leading whitespace or sign, and the
+  // (0, 1) bound below rejects inf/nan spellings anyway.
+  if (s == nullptr || !((*s >= '0' && *s <= '9') || *s == '.')) return false;
   char* end = nullptr;
   const double v = std::strtod(s, &end);
   if (end == s || *end != '\0') return false;

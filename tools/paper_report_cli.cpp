@@ -16,6 +16,7 @@
 
 #include "cli_parse.hpp"
 #include "exp/abtest.hpp"
+#include "exp/checkpoint.hpp"
 #include "exp/dump.hpp"
 #include "exp/report.hpp"
 #include "media/video.hpp"
@@ -73,6 +74,7 @@ int main(int argc, char** argv) {
   std::string faults_spec;
   if (const char* env = std::getenv("BBA_FAULTS")) faults_spec = env;
   obs::ObsOptions obs_opts = obs::ObsOptions::from_env();
+  exp::CheckpointOptions ckpt = exp::CheckpointOptions::from_env();
 
   for (int i = 1; i < argc; ++i) {
     if (obs_opts.consume_arg(argc, argv, i)) continue;
@@ -112,18 +114,48 @@ int main(int argc, char** argv) {
       out_path = next("--out");
     } else if (arg == "--faults") {
       faults_spec = next("--faults");
+    } else if (arg == "--checkpoint-out") {
+      ckpt.out = next("--checkpoint-out");
+    } else if (arg == "--checkpoint-every") {
+      const char* v = next("--checkpoint-every");
+      parsed("--checkpoint-every", tools::parse_count(v, &ckpt.every), v,
+             "a positive key count");
+    } else if (arg == "--resume") {
+      ckpt.resume = next("--resume");
+    } else if (arg == "--shard") {
+      const char* v = next("--shard");
+      parsed("--shard", ckpt.parse_shard(v), v,
+             "K/M with 1 <= K <= M");
+    } else if (arg == "--checkpoint-kill") {
+      // Test hook: exit(3) after the Nth checkpoint save.
+      const char* v = next("--checkpoint-kill");
+      parsed("--checkpoint-kill", tools::parse_count(v, &ckpt.kill_after),
+             v, "a positive save count");
     } else {
       std::fprintf(stderr,
                    "usage: %s [--sessions N] [--days N] [--seed S] "
                    "[--threads N] [--out REPORT.md] [--faults SPEC]\n"
+                   "       [--checkpoint-out FILE] [--checkpoint-every N] "
+                   "[--resume FILE] [--shard K/M]\n"
                    "%s"
                    "  --threads 0 (default) uses all hardware threads; "
                    "the report is bit-identical for every thread count\n"
                    "  --faults injects a fault plan into every session's "
-                   "trace (docs/faults.md; default $BBA_FAULTS, else off)\n",
+                   "trace (docs/faults.md; default $BBA_FAULTS, else off)\n"
+                   "  --checkpoint-out + --checkpoint-every save resumable "
+                   "state every N keys (docs/checkpoint.md)\n"
+                   "  --resume continues a run from a checkpoint file; the "
+                   "finished report is byte-identical\n"
+                   "  --shard K/M runs shard K of M and writes a partial "
+                   "checkpoint (merge with bba_merge); no report is "
+                   "rendered\n",
                    argv[0], obs::ObsOptions::usage());
       return arg == "--help" || arg == "-h" ? 0 : 2;
     }
+  }
+  if (ckpt.sharded() && ckpt.out.empty() && !ckpt.resuming()) {
+    std::fprintf(stderr, "--shard needs --checkpoint-out\n");
+    return 2;
   }
   std::string faults_error;
   if (!net::parse_fault_plan(faults_spec, &cfg.population.faults,
@@ -144,9 +176,24 @@ int main(int argc, char** argv) {
                "running 6 groups x %zu sessions/window x %zu days...\n",
                cfg.sessions_per_window, cfg.days);
   const media::VideoLibrary library = media::VideoLibrary::standard(11);
+  obs_opts.trace_resume = ckpt.resuming();
   obs::ObsScope obs_scope(obs_opts, cfg.threads);
   if (!obs_scope.ok()) return 1;
-  const exp::AbTestResult result = exp::run_ab_test(groups, library, cfg);
+  exp::AbTestResult result;
+  std::string ckpt_error;
+  if (!exp::run_ab_test_checkpointed(groups, library, cfg, ckpt, &result,
+                                     &ckpt_error)) {
+    std::fprintf(stderr, "checkpoint: %s\n", ckpt_error.c_str());
+    return 1;
+  }
+  if (ckpt.sharded()) {
+    std::fprintf(stderr,
+                 "shard %zu/%zu partial written to %s; merge with "
+                 "bba_merge and render via --resume (no report for a "
+                 "partial)\n",
+                 ckpt.shard_index, ckpt.shard_count, ckpt.out.c_str());
+    return 0;
+  }
 
   Report report;
   report.line("# BBA reproduction report");
