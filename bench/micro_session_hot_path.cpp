@@ -27,7 +27,10 @@
 // hard exit -- bytes are deterministic, unlike timings). A
 // streaming_timeline row folds every session into a TimelineAggregator and
 // enforces the fleet-telemetry budget as hard exits: zero steady-state
-// allocations and <=5% overhead over plain streaming.
+// allocations and <=5% overhead over plain streaming. A streaming_monitor
+// row does the same for the fleet health monitor (cell fold + top-K
+// offender tracking; docs/monitoring.md) under a quiet spec, with the
+// same two hard exits (monitor_overhead_frac).
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -49,6 +52,7 @@
 #include "net/trace_gen.hpp"
 #include "obs/btrace.hpp"
 #include "obs/metrics.hpp"
+#include "obs/monitor.hpp"
 #include "obs/obs.hpp"
 #include "obs/timeline.hpp"
 #include "obs/trace.hpp"
@@ -483,6 +487,64 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --- Health-monitor streaming at 1 thread: the alerting budget. -------
+  // The per-session monitor cost is the cell fold plus top-K offender
+  // tracking (insert into reserved arrays); detector math runs once per
+  // cell close. Alert emission itself is an exceptional event (string
+  // append + capture enqueue, like anomaly capture), so the spec below
+  // sets unreachable thresholds to measure the steady-state path -- which
+  // must allocate exactly nothing and cost <=5% over plain streaming,
+  // both hard exits.
+  long long max_monitor_allocs = 0;
+  {
+    obs::MonitorSpec quiet;
+    std::string spec_err;
+    if (!obs::MonitorSpec::parse(
+            "ewma_k=1000000,cusum_h=1000000,slo_rebuffer_ratio=1000000,"
+            "slo_join_s=1000000",
+            &quiet, &spec_err)) {
+      std::fprintf(stderr, "bad monitor bench spec: %s\n", spec_err.c_str());
+      return 1;
+    }
+    obs::HealthMonitor monitor(quiet);
+    // A configured monitor only folds forward, so each pass over the
+    // workload plays as its own synthetic day; pre-declaring the full day
+    // span keeps the cell grid growth out of the measured loop.
+    const std::size_t monitor_days = passes + 8;
+    monitor.begin_run(setup.seed, {"bba2"}, monitor_days,
+                      exp::kWindowsPerDay);
+    std::size_t monitor_day = 0, next_day = 0;
+    std::vector<sim::SessionMetrics> mon_streamed(setup.sessions);
+    auto run_one = [&](std::size_t i) {
+      if (i == 0) monitor_day = next_day++;
+      run_streaming(setup, i, scratch, &mon_streamed[i]);
+      const exp::SessionKey key = key_of(setup, i);
+      monitor.record(monitor_day, key.window, 0, key.session,
+                     mon_streamed[i]);
+    };
+    for (std::size_t i = 0; i < setup.sessions; ++i) run_one(i);  // warmup
+    {
+      g_counting.store(true);
+      for (std::size_t i = 0; i < setup.sessions; ++i) {
+        const long long before = g_allocs.load();
+        run_one(i);
+        max_monitor_allocs =
+            std::max(max_monitor_allocs, g_allocs.load() - before);
+      }
+      g_counting.store(false);
+    }
+    time_direct("streaming_monitor", run_one);
+    for (std::size_t i = 0; i < setup.sessions; ++i) {
+      identical = identical && metrics_identical(streamed[i], mon_streamed[i]);
+    }
+    if (monitor.alerts_fired() != 0) {
+      std::fprintf(stderr,
+                   "FAIL: quiet monitor bench spec fired %llu alerts\n",
+                   static_cast<unsigned long long>(monitor.alerts_fired()));
+      identical = false;  // surfaces through the shared exit path
+    }
+  }
+
   // --- Full-population capture: every session serialized (sample=1), ----
   // jsonl vs btrace through the same polymorphic collector/sink pair the
   // harness uses (output discarded; the serialization cost is real).
@@ -615,7 +677,7 @@ int main(int argc, char** argv) {
   }
 
   double recorded_sps = 0.0, streaming_sps = 0.0, obs_sps = 0.0;
-  double batched_sps = 0.0, timeline_sps = 0.0;
+  double batched_sps = 0.0, timeline_sps = 0.0, monitor_sps = 0.0;
   for (const Row& r : rows) {
     if (r.threads != 1) continue;
     if (std::string(r.mode) == "recorded") recorded_sps = r.sessions_per_sec;
@@ -623,6 +685,9 @@ int main(int argc, char** argv) {
     if (std::string(r.mode) == "streaming_obs") obs_sps = r.sessions_per_sec;
     if (std::string(r.mode) == "streaming_timeline") {
       timeline_sps = r.sessions_per_sec;
+    }
+    if (std::string(r.mode) == "streaming_monitor") {
+      monitor_sps = r.sessions_per_sec;
     }
     if (std::string(r.mode) == "streaming_batched") {
       batched_sps = r.sessions_per_sec;
@@ -647,13 +712,20 @@ int main(int argc, char** argv) {
       streaming_sps > 0.0 && timeline_sps > 0.0
           ? 1.0 - timeline_sps / streaming_sps
           : 0.0;
+  // Overhead of the health-monitor fold vs plain streaming. Hard exit
+  // (<=5%) like the timeline: the per-session cost is the cell fold plus
+  // a few reserved-capacity comparisons for offender tracking.
+  const double monitor_overhead_frac =
+      streaming_sps > 0.0 && monitor_sps > 0.0
+          ? 1.0 - monitor_sps / streaming_sps
+          : 0.0;
   const double btrace_compression =
       full_bytes_per_session[1] > 0.0
           ? full_bytes_per_session[0] / full_bytes_per_session[1]
           : 0.0;
 
   std::string json = "{\"bench\":\"session_hot_path\",";
-  char buf[256];
+  char buf[512];
   std::snprintf(buf, sizeof buf,
                 "\"hardware_threads\":%zu,\"sessions\":%zu,\"results\":[",
                 hw, setup.sessions);
@@ -697,13 +769,16 @@ int main(int argc, char** argv) {
                 "\"batched_speedup_vs_streaming\":%.2f,"
                 "\"obs_overhead_frac\":%.3f,"
                 "\"timeline_overhead_frac\":%.3f,"
+                "\"monitor_overhead_frac\":%.3f,"
                 "\"max_allocs_per_steady_session\":%lld,"
                 "\"max_allocs_per_steady_batch\":%lld,"
                 "\"max_allocs_per_timeline_session\":%lld,"
+                "\"max_allocs_per_monitor_session\":%lld,"
                 "\"bit_identical\":%s}",
                 speedup, batched_speedup, obs_overhead_frac,
-                timeline_overhead_frac, max_session_allocs, max_batch_allocs,
-                max_timeline_allocs, identical ? "true" : "false");
+                timeline_overhead_frac, monitor_overhead_frac,
+                max_session_allocs, max_batch_allocs, max_timeline_allocs,
+                max_monitor_allocs, identical ? "true" : "false");
   json += buf;
 
   std::printf("%s\n", json.c_str());
@@ -761,6 +836,19 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "FAIL: timeline overhead %.1f%% above the 5%% budget\n",
                  timeline_overhead_frac * 100.0);
+    ok = false;
+  }
+  if (max_monitor_allocs != 0) {
+    std::fprintf(stderr,
+                 "FAIL: health monitor record() allocated on a steady-state "
+                 "session (max %lld allocs)\n",
+                 max_monitor_allocs);
+    ok = false;
+  }
+  if (monitor_overhead_frac > 0.05) {
+    std::fprintf(stderr,
+                 "FAIL: health monitor overhead %.1f%% above the 5%% budget\n",
+                 monitor_overhead_frac * 100.0);
     ok = false;
   }
   if (btrace_compression < 5.0) {

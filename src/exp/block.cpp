@@ -71,6 +71,8 @@ struct SessionBlockRunner::Impl {
   }
 
   void run(std::span<const SessionKey> keys, const Fold& fold);
+  void capture_session(const SessionKey& key, std::size_t group,
+                       const std::string& alert_line);
   void run_batched_key(std::size_t task, std::size_t slot,
                        const SessionKey& key, const UserEnvironment& env,
                        const media::Video& video,
@@ -210,6 +212,62 @@ void SessionBlockRunner::Impl::run(std::span<const SessionKey> keys,
       });
 }
 
+void SessionBlockRunner::Impl::capture_session(const SessionKey& key,
+                                               std::size_t group,
+                                               const std::string& alert_line) {
+  if (tracer == nullptr) return;
+  BBA_ASSERT(group < groups.size(), "capture_session group out of range");
+  // Same derivation as the scalar path in run(): the replay is a pure
+  // function of the key, so the captured timeline is the exact session the
+  // monitor's cell aggregates saw. Runs on the calling thread (slot 0),
+  // with no workers active, so touching the scratch is safe.
+  SessionScratch& s = scratch[0];
+  const UserEnvironment env = population.environment_for(key);
+  const SessionSpec spec = session_for(library, cfg.workload, key);
+  const media::Video& video = library.at(spec.video_index);
+  sim::PlayerConfig player = cfg.player;
+  player.watch_duration_s = spec.watch_duration_s;
+
+  population.trace_for_into(env, key, s.trace_scratch, s.trace);
+  const bool faulted = population.has_faults();
+  if (faulted) {
+    population.inject_faults(key, s.fault_scratch, s.trace);
+    player.faults = &s.fault_scratch.events;
+  }
+
+  std::unique_ptr<abr::RateAdaptation> fresh;
+  abr::RateAdaptation* algorithm;
+  if (groups[group].reuse_instances) {
+    if (s.abrs[group] == nullptr) s.abrs[group] = groups[group].factory();
+    algorithm = s.abrs[group].get();
+  } else {
+    fresh = groups[group].factory();
+    algorithm = fresh.get();
+  }
+  BBA_ASSERT(algorithm != nullptr, "group factory returned null");
+
+  // Mute the registry: this session's simulation work was already counted
+  // when the grid ran it.
+  obs::SlotBinding mute(nullptr, 0);
+  if (s.trace_sink == nullptr) s.trace_sink = tracer->make_sink();
+  s.trace_sink->begin(tracer->config(), key.seed, key.day, key.window,
+                      key.session, groups[group].name,
+                      tracer->sampled(key.seed, key.day, key.window,
+                                      key.session));
+  s.trace_sink->set_alert(alert_line);
+  if (faulted) {
+    s.trace_sink->set_faults(&s.fault_scratch.events,
+                             s.trace.cycle_duration_s(), s.trace.loops());
+  }
+  sim::TeeSink tee(s.sink, *s.trace_sink);
+  sim::simulate_session(video, s.trace, *algorithm, player, tee);
+  std::string lines;
+  if (s.trace_sink->finish(&lines)) {
+    tracer->note_session(s.trace_sink->anomalous());
+    tracer->write(lines);
+  }
+}
+
 void SessionBlockRunner::Impl::run_batched_key(
     std::size_t task, std::size_t slot, const SessionKey& key,
     const UserEnvironment& env, const media::Video& video,
@@ -326,6 +384,12 @@ const Population& SessionBlockRunner::population() const {
 void SessionBlockRunner::run(std::span<const SessionKey> keys,
                              const Fold& fold) {
   impl_->run(keys, fold);
+}
+
+void SessionBlockRunner::capture_session(const SessionKey& key,
+                                         std::size_t group,
+                                         const std::string& alert_line) {
+  impl_->capture_session(key, group, alert_line);
 }
 
 void SessionBlockRunner::finish() {

@@ -59,6 +59,16 @@ class SessionBlockRunner {
   /// both do.
   void finish();
 
+  /// Re-simulates one (key, group) session and appends it to the trace
+  /// with `alert_line` embedded as its evidence marker -- the health
+  /// monitor's alert-triggered capture (obs/monitor.hpp). The replay runs
+  /// on the calling thread with the metrics registry muted, so fold
+  /// results and metrics are untouched; call between run() blocks or after
+  /// the last one (never concurrently with run()), before finish(). The
+  /// session's trace bytes are a pure function of (key, group, marker).
+  void capture_session(const SessionKey& key, std::size_t group,
+                       const std::string& alert_line);
+
   /// Total keys folded across every run() on this runner -- the executor's
   /// sequential-fold cursor, which the checkpoint layer uses as the
   /// authoritative position in the canonical key sequence.

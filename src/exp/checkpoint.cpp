@@ -441,6 +441,172 @@ bool parse_seq_section(Cursor& c, CheckpointSeq* s) {
   return c.str(&s->decision_log) && !c.fail;
 }
 
+void put_timeline_cell(std::string& p, const obs::TimelineCell& cell) {
+  put_varint(p, cell.sessions);
+  put_varint(p, cell.abandoned);
+  put_varint(p, cell.rebuffers);
+  put_varint(p, cell.fault_stalls);
+  put_varint(p, cell.switches);
+  put_varint(p, cell.play_micro);
+  put_varint(p, cell.rebuffer_micro);
+  put_varint(p, cell.join_micro);
+  put_varint(p, cell.rate_play_kbit);
+}
+
+void parse_timeline_cell(Cursor& c, obs::TimelineCell* cell) {
+  cell->sessions = c.varint();
+  cell->abandoned = c.varint();
+  cell->rebuffers = c.varint();
+  cell->fault_stalls = c.varint();
+  cell->switches = c.varint();
+  cell->play_micro = c.varint();
+  cell->rebuffer_micro = c.varint();
+  cell->join_micro = c.varint();
+  cell->rate_play_kbit = c.varint();
+}
+
+/// The ALRT payload: the monitor's complete MonitorState, detector doubles
+/// as raw IEEE bits, prefixed by the spec JSON so a resume can reject a
+/// changed --alert-spec.
+void put_alerts_section(std::string& p, const std::string& spec_json,
+                        const obs::MonitorState& st) {
+  put_string(p, spec_json);
+  p += static_cast<char>(st.deferred ? 1 : 0);
+  put_varint(p, st.seed);
+  put_varint(p, st.days);
+  put_varint(p, st.windows);
+  put_varint(p, st.groups.size());
+  for (const std::string& g : st.groups) put_string(p, g);
+  put_varint(p, st.consumed);
+  put_varint(p, st.open);
+  std::uint64_t n = 0;
+  for (const obs::TimelineCell& cell : st.cells) n += cell.empty() ? 0 : 1;
+  put_varint(p, n);
+  for (std::size_t i = 0; i < st.cells.size(); ++i) {
+    if (st.cells[i].empty()) continue;
+    put_varint(p, i);
+    put_timeline_cell(p, st.cells[i]);
+  }
+  for (const stats::EwmaState& e : st.ewma) {
+    put_varint(p, e.base.n);
+    put_f64(p, e.base.mean);
+    put_f64(p, e.base.m2);
+    put_f64(p, e.ewma);
+    put_f64(p, e.sd);
+    p += static_cast<char>(e.ready ? 1 : 0);
+  }
+  for (const stats::CusumState& s : st.cusum) {
+    put_varint(p, s.base.n);
+    put_f64(p, s.base.mean);
+    put_f64(p, s.base.m2);
+    put_f64(p, s.sd);
+    p += static_cast<char>(s.ready ? 1 : 0);
+    put_f64(p, s.s_pos);
+    put_f64(p, s.s_neg);
+  }
+  for (const stats::BurnState& b : st.burn) {
+    put_varint(p, b.streak);
+    p += static_cast<char>(b.armed ? 1 : 0);
+  }
+  put_varint(p, st.alert_seq);
+  put_string(p, st.alert_log);
+  for (const obs::MonitorCandidates& cand : st.cand) {
+    put_varint(p, cand.sessions.size());
+    for (std::size_t i = 0; i < cand.sessions.size(); ++i) {
+      put_varint(p, cand.sessions[i]);
+      put_f64(p, cand.scores[i]);
+    }
+  }
+  put_varint(p, st.pending.size());
+  for (const obs::MonitorCapture& cap : st.pending) {
+    put_varint(p, cap.day);
+    put_varint(p, cap.window);
+    put_varint(p, cap.group);
+    put_varint(p, cap.session);
+    put_string(p, cap.marker);
+  }
+}
+
+bool parse_alerts_section(Cursor& c, std::string* spec_json,
+                          obs::MonitorState* st) {
+  if (!c.str(spec_json)) return false;
+  st->deferred = (c.u8() & 1) != 0;
+  st->seed = c.varint();
+  st->days = static_cast<std::size_t>(c.varint());
+  st->windows = static_cast<std::size_t>(c.varint());
+  const std::uint64_t n_groups = c.varint();
+  if (c.fail || n_groups == 0 || n_groups > 4096 || st->days == 0 ||
+      st->days > (1u << 20) || st->windows == 0 ||
+      st->windows > (1u << 16)) {
+    return false;
+  }
+  st->groups.resize(static_cast<std::size_t>(n_groups));
+  for (std::string& g : st->groups) {
+    if (!c.str(&g)) return false;
+  }
+  st->consumed = c.varint();
+  st->open = c.varint();
+  const std::size_t g = st->groups.size();
+  const std::uint64_t n_cells =
+      static_cast<std::uint64_t>(st->days) * st->windows * g;
+  st->cells.assign(static_cast<std::size_t>(n_cells), obs::TimelineCell{});
+  const std::uint64_t n = c.varint();
+  if (c.fail || n > n_cells) return false;
+  for (std::uint64_t i = 0; i < n && !c.fail; ++i) {
+    const std::uint64_t idx = c.varint();
+    if (c.fail || idx >= n_cells) return false;
+    parse_timeline_cell(c, &st->cells[static_cast<std::size_t>(idx)]);
+  }
+  st->ewma.assign(g * obs::kNumMonitorMetrics, stats::EwmaState{});
+  for (stats::EwmaState& e : st->ewma) {
+    e.base.n = c.varint();
+    e.base.mean = c.f64();
+    e.base.m2 = c.f64();
+    e.ewma = c.f64();
+    e.sd = c.f64();
+    e.ready = (c.u8() & 1) != 0;
+  }
+  st->cusum.assign(g * obs::kNumMonitorMetrics, stats::CusumState{});
+  for (stats::CusumState& s : st->cusum) {
+    s.base.n = c.varint();
+    s.base.mean = c.f64();
+    s.base.m2 = c.f64();
+    s.sd = c.f64();
+    s.ready = (c.u8() & 1) != 0;
+    s.s_pos = c.f64();
+    s.s_neg = c.f64();
+  }
+  st->burn.assign(g * obs::kNumMonitorSlos, stats::BurnState{});
+  for (stats::BurnState& b : st->burn) {
+    b.streak = c.varint();
+    b.armed = (c.u8() & 1) != 0;
+  }
+  st->alert_seq = c.varint();
+  if (!c.str(&st->alert_log)) return false;
+  st->cand.assign(g * obs::kNumMonitorMetrics, obs::MonitorCandidates{});
+  for (obs::MonitorCandidates& cand : st->cand) {
+    const std::uint64_t n_cand = c.varint();
+    if (c.fail || n_cand > 4096) return false;
+    cand.sessions.resize(static_cast<std::size_t>(n_cand));
+    cand.scores.resize(static_cast<std::size_t>(n_cand));
+    for (std::size_t i = 0; i < cand.sessions.size(); ++i) {
+      cand.sessions[i] = c.varint();
+      cand.scores[i] = c.f64();
+    }
+  }
+  const std::uint64_t n_pending = c.varint();
+  if (c.fail || n_pending > (1u << 20)) return false;
+  st->pending.resize(static_cast<std::size_t>(n_pending));
+  for (obs::MonitorCapture& cap : st->pending) {
+    cap.day = c.varint();
+    cap.window = c.varint();
+    cap.group = c.varint();
+    cap.session = c.varint();
+    if (!c.str(&cap.marker)) return false;
+  }
+  return !c.fail;
+}
+
 /// Strict base-10 u64 parse for --shard and the env knobs (no atoll:
 /// garbage must be rejected, not read as 0).
 bool parse_number(const char* s, std::uint64_t* out) {
@@ -497,6 +663,10 @@ std::string serialize_checkpoint(const Checkpoint& ck) {
   if (ck.has_seq) {
     put_seq_section(payload, ck.seq);
     add_section(kCkptSectionSeq);
+  }
+  if (ck.has_alerts) {
+    put_alerts_section(payload, ck.alerts_spec_json, ck.alerts);
+    add_section(kCkptSectionAlerts);
   }
 
   put_u32(out, kCkptFooterMagic);
@@ -627,6 +797,11 @@ bool parse_checkpoint(const std::string& bytes, Checkpoint* out,
         return fail("checkpoint seq section corrupt");
       }
       out->has_seq = true;
+    } else if (s.magic == kCkptSectionAlerts) {
+      if (!parse_alerts_section(c, &out->alerts_spec_json, &out->alerts)) {
+        return fail("checkpoint alerts section corrupt");
+      }
+      out->has_alerts = true;
     }
     // Unknown sections skip silently: forward compatibility.
   }
@@ -733,6 +908,14 @@ bool merge_checkpoints(const std::vector<Checkpoint>& parts, Checkpoint* out,
       *error = "some shards carry a timeline and some do not";
       return false;
     }
+    if (p.has_alerts != first.has_alerts) {
+      *error = "some shards carry health-monitor state and some do not";
+      return false;
+    }
+    if (p.has_alerts && p.alerts_spec_json != first.alerts_spec_json) {
+      *error = "shard checkpoints disagree on the --alert-spec";
+      return false;
+    }
     total += p.total_keys;
   }
   const std::uint64_t full_grid =
@@ -791,6 +974,43 @@ bool merge_checkpoints(const std::vector<Checkpoint>& parts, Checkpoint* out,
   // Trace state is per-file; shard trace files merge via `bba_merge
   // traces`, so the merged checkpoint deliberately carries none.
   out->has_trace = false;
+  if (first.has_alerts) {
+    // Sharded monitors deferred their detectors, so the per-shard states
+    // carry cells only. Union the disjoint cells; the merged state stays
+    // deferred with fresh detectors, and the resume render refold()s the
+    // full grid in canonical order -- the unsharded run's bytes exactly.
+    out->has_alerts = true;
+    out->alerts_spec_json = first.alerts_spec_json;
+    obs::MonitorState& st = out->alerts;
+    st.deferred = true;
+    st.seed = first.alerts.seed;
+    st.days = static_cast<std::size_t>(first.days);
+    st.windows = static_cast<std::size_t>(first.windows_per_day);
+    st.groups = first.alerts.groups;
+    const std::size_t g = st.groups.size();
+    st.cells.assign(st.days * st.windows * g, obs::TimelineCell{});
+    st.ewma.assign(g * obs::kNumMonitorMetrics, stats::EwmaState{});
+    st.cusum.assign(g * obs::kNumMonitorMetrics, stats::CusumState{});
+    st.burn.assign(g * obs::kNumMonitorSlos, stats::BurnState{});
+    st.cand.assign(g * obs::kNumMonitorMetrics, obs::MonitorCandidates{});
+    for (const Checkpoint& p : parts) {
+      if (p.alerts.groups != st.groups || p.alerts.seed != st.seed ||
+          p.alerts.days != st.days || p.alerts.windows != st.windows ||
+          p.alerts.cells.size() != st.cells.size()) {
+        *error = "shard health-monitor states disagree on the grid";
+        return false;
+      }
+      for (std::size_t i = 0; i < st.cells.size(); ++i) {
+        if (p.alerts.cells[i].empty()) continue;
+        if (!st.cells[i].empty()) {
+          *error = "shards overlap: health-monitor cell " +
+                   std::to_string(i) + " appears in two shards";
+          return false;
+        }
+        st.cells[i] = p.alerts.cells[i];
+      }
+    }
+  }
   return true;
 }
 
@@ -853,6 +1073,7 @@ bool run_ab_test_checkpointed(const std::vector<Group>& groups,
       (o != nullptr && o->trace != nullptr && o->trace->ok())
           ? o->trace.get()
           : nullptr;
+  obs::HealthMonitor* monitor = o != nullptr ? o->monitor.get() : nullptr;
 
   *result = AbTestResult{};
   result->group_names.reserve(groups.size());
@@ -886,6 +1107,15 @@ bool run_ab_test_checkpointed(const std::vector<Group>& groups,
   if (timeline != nullptr) {
     timeline->begin_run(cfg.seed, result->group_names, cfg.days,
                         kWindowsPerDay);
+  }
+  if (monitor != nullptr) {
+    monitor->begin_run(cfg.seed, result->group_names, cfg.days,
+                       kWindowsPerDay);
+    // A shard sees only its own (day, window) subsequence, which would
+    // feed the detectors a different cell order than the unsharded fold:
+    // accumulate cells only, and let the merged checkpoint's resume render
+    // refold() the full grid.
+    monitor->set_deferred(opts.sharded());
   }
 
   std::uint64_t cursor = 0;
@@ -945,6 +1175,26 @@ bool run_ab_test_checkpointed(const std::vector<Group>& groups,
       }
       if (!tracer->resume_from(ck.trace, error)) return false;
     }
+    if (monitor != nullptr) {
+      if (!ck.has_alerts) {
+        *error = "--alerts-out is set but " + opts.resume +
+                 " has no alerts section (was the original run started "
+                 "without --alerts-out?)";
+        return false;
+      }
+      if (ck.alerts_spec_json != monitor->spec().to_json()) {
+        *error = opts.resume +
+                 " was checkpointed with a different --alert-spec (" +
+                 ck.alerts_spec_json + "); resuming with new detector "
+                 "parameters would change the fired alerts";
+        return false;
+      }
+      monitor->restore(std::move(ck.alerts));
+      // A merged (sharded) checkpoint carries deferred cells; an unsharded
+      // resume render folds them through the detectors now, in canonical
+      // order -- the unsharded run's alert bytes exactly.
+      if (monitor->deferred() && !opts.sharded()) monitor->refold();
+    }
     std::fprintf(stderr,
                  "checkpoint: resumed %s at key %llu/%llu\n",
                  opts.resume.c_str(),
@@ -975,6 +1225,11 @@ bool run_ab_test_checkpointed(const std::vector<Group>& groups,
     if (tracer != nullptr) {
       ck.has_trace = true;
       ck.trace = tracer->resume_state();  // flushes first
+    }
+    if (monitor != nullptr && monitor->configured()) {
+      ck.has_alerts = true;
+      ck.alerts = monitor->state();
+      ck.alerts_spec_json = monitor->spec().to_json();
     }
     if (!save_checkpoint(ck, opts.out, error)) return false;
     ++saves;
@@ -1008,12 +1263,31 @@ bool run_ab_test_checkpointed(const std::vector<Group>& groups,
       if (timeline != nullptr) {
         timeline->record(key.day, key.window, g, m);
       }
+      if (monitor != nullptr) {
+        monitor->record(key.day, key.window, g, key.session, m);
+      }
     });
     cursor += chunk;
     BBA_ASSERT(runner.keys_folded() == cursor - start,
                "executor fold cursor out of sync with the chunk loop");
     if (!opts.out.empty() && cursor < total) {
       if (!save_now()) return false;
+    }
+  }
+  // The grid is complete: close the trailing cell and drain the capture
+  // queue BEFORE the trace finishes and before the final checkpoint save.
+  // Draining once at the end (not per chunk) makes the captured trace
+  // bytes independent of --checkpoint-every chunking, and draining before
+  // the save means a completed checkpoint re-render has nothing pending --
+  // re-rendering never duplicates captures.
+  if (monitor != nullptr && !opts.sharded()) {
+    monitor->finalize();
+    for (const obs::MonitorCapture& cap : monitor->take_captures()) {
+      runner.capture_session(
+          SessionKey{cfg.seed, static_cast<std::size_t>(cap.day),
+                     static_cast<std::size_t>(cap.window),
+                     static_cast<std::size_t>(cap.session)},
+          static_cast<std::size_t>(cap.group), cap.marker);
     }
   }
   runner.finish();

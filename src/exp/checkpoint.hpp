@@ -43,8 +43,9 @@
 //
 // Sections: "RUN0" (dimensions, groups, shard, cursor), "CELL" (window
 // cells), "TLIN" (timeline), "TRCE" (trace tallies), "SEQS" (sequential
-// engine state). Unknown sections are skipped on read (forward
-// compatibility); every payload is CRC-checked before parsing.
+// engine state), "ALRT" (health monitor detector state + alert log).
+// Unknown sections are skipped on read (forward compatibility); every
+// payload is CRC-checked before parsing.
 #pragma once
 
 #include <cstdint>
@@ -52,6 +53,7 @@
 #include <vector>
 
 #include "exp/abtest.hpp"
+#include "obs/monitor.hpp"
 #include "obs/timeline.hpp"
 #include "obs/trace.hpp"
 
@@ -68,6 +70,7 @@ inline constexpr std::uint32_t kCkptSectionCells = 0x4c4c4543; // "CELL"
 inline constexpr std::uint32_t kCkptSectionTimeline = 0x4e494c54;  // "TLIN"
 inline constexpr std::uint32_t kCkptSectionTrace = 0x45435254;     // "TRCE"
 inline constexpr std::uint32_t kCkptSectionSeq = 0x53514553;       // "SEQS"
+inline constexpr std::uint32_t kCkptSectionAlerts = 0x54524c41;    // "ALRT"
 
 /// Checkpointed state of the sequential engine (src/seq), carried here so
 /// the container has one home; bba_seq links bba_exp. Plain data: the
@@ -116,6 +119,13 @@ struct Checkpoint {
   obs::TraceResumeState trace;
   bool has_seq = false;
   CheckpointSeq seq;
+  /// Health monitor state (obs/monitor.hpp): cells, detector doubles as
+  /// raw bits, alert log, capture queue. `alerts_spec_json` pins the
+  /// detector configuration -- resuming with a different --alert-spec
+  /// would change the fired alerts, so resume rejects a mismatch.
+  bool has_alerts = false;
+  obs::MonitorState alerts;
+  std::string alerts_spec_json;
 
   bool complete() const { return cursor == total_keys; }
 };

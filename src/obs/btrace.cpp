@@ -233,6 +233,7 @@ constexpr std::uint8_t kFlagStarted = 1u << 2;
 constexpr std::uint8_t kFlagAbandoned = 1u << 3;
 constexpr std::uint8_t kFlagFaults = 1u << 4;
 constexpr std::uint8_t kFlagFaultLoops = 1u << 5;
+constexpr std::uint8_t kFlagAlert = 1u << 6;
 
 struct BlockPrefix {
   std::uint64_t seed = 0, day = 0, window = 0, session = 0;
@@ -354,6 +355,7 @@ bool BinaryTraceSink::finish(std::string* out) const {
     flags |= kFlagFaults;
     if (fault_loops_) flags |= kFlagFaultLoops;
   }
+  if (!alert_marker_.empty()) flags |= kFlagAlert;
   p += static_cast<char>(flags);
   // Summary doubles are stored as raw IEEE bits: the JSONL header prints
   // them with %.10g (not the microsecond fast path), so the exact double
@@ -363,6 +365,12 @@ bool BinaryTraceSink::finish(std::string* out) const {
   put_f64(p, summary_.played_s);
   put_f64(p, summary_.wall_s);
   put_f64(p, rebuffer_total_s_);
+  if (!alert_marker_.empty()) {
+    // The monitor's marker line, verbatim: the reader re-emits it after
+    // the header so `bba_trace cat` round-trips alert captures exactly.
+    put_varint(p, alert_marker_.size());
+    p += alert_marker_;
+  }
   if (faults_ != nullptr) {
     put_f64(p, fault_cycle_s_);
     put_varint(p, faults_->size());
@@ -812,6 +820,16 @@ bool BtraceReader::read_session(std::size_t i, std::string* jsonl_out,
   const double played_s = c.f64();
   const double wall_s = c.f64();
   const double rebuffer_s = c.f64();
+  std::string_view alert_marker;
+  if ((prefix.flags & kFlagAlert) != 0) {
+    const std::uint64_t marker_len = c.varint();
+    if (c.fail || !c.need(static_cast<std::size_t>(marker_len))) {
+      return corrupt("truncated alert marker");
+    }
+    alert_marker = std::string_view(reinterpret_cast<const char*>(c.p),
+                                    static_cast<std::size_t>(marker_len));
+    c.p += marker_len;
+  }
   double fault_cycle_s = 0.0;
   std::uint64_t n_faults = 0;
   struct FaultRow {
@@ -934,6 +952,7 @@ bool BtraceReader::read_session(std::size_t i, std::string* jsonl_out,
     h.trace_loops = (prefix.flags & kFlagFaultLoops) != 0;
   }
   jsonl::append_session_line(o, h);
+  o += alert_marker;
   for (const FaultRow& f : faults) {
     jsonl::append_fault_line(
         o, net::fault_kind_name(static_cast<net::FaultKind>(f.kind)),

@@ -14,6 +14,7 @@
 #include <memory>
 
 #include "obs/metrics.hpp"
+#include "obs/monitor.hpp"
 #include "obs/profile.hpp"
 #include "obs/timeline.hpp"
 #include "obs/trace.hpp"
@@ -28,6 +29,9 @@ struct Observability {
   /// Fleet timeline; harness folds record into it from the sequential
   /// fold only (no synchronization -- see timeline.hpp).
   std::unique_ptr<TimelineAggregator> timeline;
+  /// Fleet health monitor; same single-writer fold discipline as the
+  /// timeline (see monitor.hpp).
+  std::unique_ptr<HealthMonitor> monitor;
 };
 
 /// The currently installed handle, or nullptr (the default).

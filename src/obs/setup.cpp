@@ -55,6 +55,8 @@ ObsOptions ObsOptions::from_env() {
   if (const char* v = env_or_null("BBA_METRICS")) opts.metrics_out = v;
   if (const char* v = env_or_null("BBA_PROFILE")) opts.profile_out = v;
   if (const char* v = env_or_null("BBA_TIMELINE")) opts.timeline_out = v;
+  if (const char* v = env_or_null("BBA_ALERTS")) opts.alerts_out = v;
+  if (const char* v = env_or_null("BBA_ALERT_SPEC")) opts.alert_spec = v;
   return opts;
 }
 
@@ -98,6 +100,14 @@ bool ObsOptions::consume_arg(int argc, char** argv, int& i) {
     timeline_out = value("--timeline-out");
     return true;
   }
+  if (std::strcmp(arg, "--alerts-out") == 0) {
+    alerts_out = value("--alerts-out");
+    return true;
+  }
+  if (std::strcmp(arg, "--alert-spec") == 0) {
+    alert_spec = value("--alert-spec");
+    return true;
+  }
   return false;
 }
 
@@ -112,8 +122,16 @@ const char* ObsOptions::usage() {
       "          [--timeline-out FILE.json|-]  fleet timeline artifact:\n"
       "            per-(day,window,group) cells + quantile sketches, the\n"
       "            input to the bba_obs dashboard CLI (- = stdout)\n"
+      "          [--alerts-out FILE|-]  health monitor alerts artifact\n"
+      "            (bba.alerts.v1 JSONL): EWMA/CUSUM drift + SLO burn\n"
+      "            alerts with alert-triggered trace capture\n"
+      "          [--alert-spec k=v,...]  detector overrides (warmup,\n"
+      "            ewma_alpha, ewma_k, cusum_k, cusum_h, sd_floor,\n"
+      "            slo_rebuffer_ratio, slo_rebuffer_windows, slo_join_s,\n"
+      "            slo_join_windows, top_k, capture)\n"
       "          (env: BBA_TRACE, BBA_TRACE_FORMAT, BBA_TRACE_SAMPLE,\n"
-      "           BBA_METRICS, BBA_PROFILE, BBA_TIMELINE)\n";
+      "           BBA_METRICS, BBA_PROFILE, BBA_TIMELINE, BBA_ALERTS,\n"
+      "           BBA_ALERT_SPEC)\n";
 }
 
 ObsScope::ObsScope(const ObsOptions& opts, std::size_t threads_hint)
@@ -125,6 +143,16 @@ ObsScope::ObsScope(const ObsOptions& opts, std::size_t threads_hint)
   handle_->profiler = std::make_unique<Profiler>(slots);
   if (!opts.timeline_out.empty()) {
     handle_->timeline = std::make_unique<TimelineAggregator>();
+  }
+  if (!opts.alerts_out.empty()) {
+    MonitorSpec spec;
+    std::string err;
+    if (!MonitorSpec::parse(opts.alert_spec, &spec, &err)) {
+      std::fprintf(stderr, "obs: bad --alert-spec: %s\n", err.c_str());
+      ok_ = false;
+    } else {
+      handle_->monitor = std::make_unique<HealthMonitor>(spec);
+    }
   }
   if (!opts.trace_out.empty()) {
     TraceConfig cfg;
@@ -176,6 +204,26 @@ ObsScope::~ObsScope() {
       std::fprintf(stderr,
                    "obs: timeline %s not written (no sessions recorded)\n",
                    opts_.timeline_out.c_str());
+    }
+  }
+  if (!opts_.alerts_out.empty() && handle_->monitor != nullptr) {
+    HealthMonitor& mon = *handle_->monitor;
+    if (!mon.configured()) {
+      std::fprintf(stderr,
+                   "obs: alerts %s not written (no sessions recorded)\n",
+                   opts_.alerts_out.c_str());
+    } else if (mon.deferred()) {
+      // A sharded partial run: the per-shard cell subsequence would fold
+      // detectors differently from the unsharded run, so nothing renders
+      // here. bba_merge + a --resume render of the merged checkpoint
+      // refolds the full grid and writes the canonical artifact.
+      std::fprintf(stderr,
+                   "obs: alerts %s deferred (sharded run; merge checkpoints "
+                   "and re-render to fold detectors)\n",
+                   opts_.alerts_out.c_str());
+    } else {
+      mon.finalize();  // idempotent; covers CLIs without explicit finalize
+      write_json_output("alerts", opts_.alerts_out, mon.render());
     }
   }
   if (!opts_.trace_out.empty() && handle_->trace != nullptr) {

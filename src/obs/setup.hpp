@@ -25,6 +25,8 @@ struct ObsOptions {
   std::string metrics_out;   ///< metrics snapshot JSON path
   std::string profile_out;   ///< Chrome trace-event JSON path
   std::string timeline_out;  ///< fleet timeline artifact JSON path
+  std::string alerts_out;    ///< health monitor alerts artifact path
+  std::string alert_spec;    ///< detector overrides, "key=val,key=val"
   /// Reopen trace_out for a checkpoint resume (TraceConfig::resume)
   /// instead of truncating it. Set by the CLIs when --resume is given;
   /// exp::run_ab_test_checkpointed then restores the collector state
@@ -38,11 +40,13 @@ struct ObsOptions {
   /// metrics snapshot), but files are written only for requested outputs.
   bool any() const {
     return !trace_out.empty() || !metrics_out.empty() ||
-           !profile_out.empty() || !timeline_out.empty();
+           !profile_out.empty() || !timeline_out.empty() ||
+           !alerts_out.empty();
   }
 
   /// Environment defaults: BBA_TRACE, BBA_TRACE_SAMPLE, BBA_METRICS,
-  /// BBA_PROFILE, BBA_TIMELINE. Unset variables leave the defaults above.
+  /// BBA_PROFILE, BBA_TIMELINE, BBA_ALERTS, BBA_ALERT_SPEC. Unset
+  /// variables leave the defaults above.
   static ObsOptions from_env();
 
   /// CLI hook: if argv[i] is one of the shared observability flags,

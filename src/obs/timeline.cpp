@@ -8,13 +8,6 @@ namespace bba::obs {
 
 namespace {
 
-/// Seconds -> 1e-6 s units with the HistSlot::sum_micro rounding
-/// convention. Rounding happens once, per session, before any addition, so
-/// cell sums are integer-exact under sharding.
-std::uint64_t to_micro(double v) {
-  return v > 0.0 ? static_cast<std::uint64_t>(v * 1e6 + 0.5) : 0;
-}
-
 void append_u64(std::string& out, std::uint64_t v) {
   char buf[24];
   std::snprintf(buf, sizeof buf, "%llu",
@@ -61,17 +54,7 @@ void TimelineAggregator::record(std::size_t day, std::size_t window,
     days_ = day + 1;
     cells_.resize(days_ * windows_ * groups_.size());
   }
-  TimelineCell& c = cells_[cell_index(day, window, group)];
-  c.sessions += 1;
-  c.abandoned += m.abandoned ? 1 : 0;
-  c.rebuffers += static_cast<std::uint64_t>(m.rebuffer_count);
-  c.fault_stalls += static_cast<std::uint64_t>(m.fault_stall_count);
-  c.switches += static_cast<std::uint64_t>(m.switch_count);
-  c.play_micro += to_micro(m.play_s);
-  c.rebuffer_micro += to_micro(m.rebuffer_s);
-  c.join_micro += to_micro(m.join_s);
-  const double kbit = m.avg_rate_bps * m.play_s / 1000.0;
-  c.rate_play_kbit += kbit > 0.0 ? static_cast<std::uint64_t>(kbit + 0.5) : 0;
+  cells_[cell_index(day, window, group)].fold(m);
 
   GroupSketches& s = sketches_[group];
   s.rate_bps.add(m.avg_rate_bps);

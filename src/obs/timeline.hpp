@@ -57,6 +57,30 @@ struct TimelineCell {
 
   bool empty() const { return sessions == 0; }
 
+  /// Seconds -> 1e-6 s units with the HistSlot::sum_micro rounding
+  /// convention. Rounding happens once, per session, before any addition,
+  /// so cell sums are integer-exact under sharding.
+  static std::uint64_t to_micro(double v) {
+    return v > 0.0 ? static_cast<std::uint64_t>(v * 1e6 + 0.5) : 0;
+  }
+
+  /// Folds one finished session into the cell -- THE cell arithmetic,
+  /// shared by the TimelineAggregator and the HealthMonitor (obs/monitor)
+  /// so both sides see bit-identical aggregates for the same sessions.
+  void fold(const sim::SessionMetrics& m) {
+    sessions += 1;
+    abandoned += m.abandoned ? 1 : 0;
+    rebuffers += static_cast<std::uint64_t>(m.rebuffer_count);
+    fault_stalls += static_cast<std::uint64_t>(m.fault_stall_count);
+    switches += static_cast<std::uint64_t>(m.switch_count);
+    play_micro += to_micro(m.play_s);
+    rebuffer_micro += to_micro(m.rebuffer_s);
+    join_micro += to_micro(m.join_s);
+    const double kbit = m.avg_rate_bps * m.play_s / 1000.0;
+    rate_play_kbit +=
+        kbit > 0.0 ? static_cast<std::uint64_t>(kbit + 0.5) : 0;
+  }
+
   void merge(const TimelineCell& o) {
     sessions += o.sessions;
     abandoned += o.abandoned;

@@ -168,6 +168,7 @@ void SessionTraceSink::begin(const TraceConfig& cfg, std::uint64_t seed,
   faults_ = nullptr;
   fault_cycle_s_ = 0.0;
   fault_loops_ = false;
+  alert_marker_.clear();
 }
 
 void SessionTraceSink::set_faults(
@@ -176,6 +177,13 @@ void SessionTraceSink::set_faults(
   faults_ = faults;
   fault_cycle_s_ = trace_cycle_s;
   fault_loops_ = trace_loops;
+}
+
+void SessionTraceSink::set_alert(std::string_view marker_line) {
+  alert_marker_.assign(marker_line.data(), marker_line.size());
+  // Evidence capture must buffer and emit regardless of the sampling
+  // decision -- that is the whole point of the alert replay.
+  capture_ = true;
 }
 
 void SessionTraceSink::on_session_start(double chunk_duration_s) {
@@ -201,7 +209,7 @@ void SessionTraceSink::on_session_end(const sim::SessionSummary& summary) {
   if (cfg_ == nullptr) return;
   anomalous_ = rebuffer_total_s_ >= cfg_->anomaly_rebuffer_s ||
                (cfg_->capture_abandoned && summary.abandoned);
-  emit_ = capture_ && (sampled_ || anomalous_);
+  emit_ = capture_ && (sampled_ || anomalous_ || !alert_marker_.empty());
 }
 
 namespace {
@@ -270,6 +278,10 @@ bool SessionTraceSink::finish(std::string* out) const {
     h.trace_loops = fault_loops_;
   }
   jsonl::append_session_line(o, h);
+
+  // The alert marker rides directly after the header so a reader knows
+  // this session is monitor evidence before its event lines start.
+  if (!alert_marker_.empty()) o += alert_marker_;
 
   if (faults_ != nullptr) {
     // The injected faults, in first-cycle trace time, directly after the

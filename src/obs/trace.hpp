@@ -216,6 +216,14 @@ class SessionTraceSink : public sim::SessionSink {
   void set_faults(const std::vector<net::InjectedFault>* faults,
                   double trace_cycle_s, bool trace_loops);
 
+  /// Marks this session as health-monitor evidence: `marker_line` (a
+  /// '\n'-terminated {"ev":"alert",...} line) is emitted right after the
+  /// session header, and the session qualifies for emission regardless of
+  /// sampling. Call after begin() -- begin() clears it. The btrace sink
+  /// carries the marker in its binary block and the reader re-emits it, so
+  /// both formats round-trip identically.
+  void set_alert(std::string_view marker_line);
+
   // sim::SessionSink
   void on_session_start(double chunk_duration_s) override;
   void on_chunk(const sim::ChunkRecord& chunk, double played_s) override;
@@ -253,6 +261,8 @@ class SessionTraceSink : public sim::SessionSink {
   const std::vector<net::InjectedFault>* faults_ = nullptr;
   double fault_cycle_s_ = 0.0;
   bool fault_loops_ = false;
+
+  std::string alert_marker_;  ///< empty = not an alert capture
 };
 
 }  // namespace bba::obs

@@ -1,0 +1,164 @@
+// Deterministic online drift detectors for the fleet health monitor.
+//
+// Three detector primitives, each a plain-data state struct plus a pure
+// step function, so the health monitor (obs/monitor.hpp) can serialize
+// detector state into a checkpoint as raw IEEE-754 bits and resume
+// bit-exactly:
+//
+//   * EWMA control band -- a Welford warmup over the first `warmup`
+//     observations freezes a baseline (mean, sd); afterwards each value is
+//     tested against ewma +/- band_k * sd BEFORE the ewma updates, so the
+//     test is a pure function of the value sequence prefix.
+//   * CUSUM change-point -- one-sided cumulative sums of z-scores against
+//     the frozen baseline (s_pos for upward drift, s_neg for downward),
+//     with the classic k-slack / h-threshold parametrization. The fired
+//     side resets so sustained drift re-alarms rather than saturating.
+//   * SLO burn streak -- "metric breaches the objective for N consecutive
+//     windows" fires exactly when the streak reaches N, then re-arms only
+//     after a healthy window.
+//
+// Every step is a fixed sequence of double operations on the state -- no
+// wall clock, no randomness -- so feeding the same value sequence always
+// produces bit-identical states and the same firing pattern. Header-only:
+// the obs library stays leaf-linked (it depends only on bba_util).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace bba::stats {
+
+/// Shared baseline accumulator: Welford mean/M2 over the warmup prefix.
+struct Warmup {
+  std::uint64_t n = 0;
+  double mean = 0.0;
+  double m2 = 0.0;
+
+  void add(double x) {
+    n += 1;
+    const double d = x - mean;
+    mean += d / static_cast<double>(n);
+    m2 += d * (x - mean);
+  }
+
+  /// Sample standard deviation with a floor: max(sd, floor_frac * |mean|,
+  /// 1e-9). The floor keeps near-constant metrics (e.g. a rebuffer ratio
+  /// pinned at 0) from turning ordinary jitter into an alarm storm.
+  double floored_sd(double floor_frac) const {
+    const double sd =
+        n > 1 ? std::sqrt(m2 / static_cast<double>(n - 1)) : 0.0;
+    const double floor = floor_frac * std::fabs(mean);
+    const double lo = floor > 1e-9 ? floor : 1e-9;
+    return sd > lo ? sd : lo;
+  }
+};
+
+struct EwmaConfig {
+  double alpha = 0.2;    ///< smoothing factor
+  double band_k = 3.0;   ///< control band half-width, in baseline sds
+  std::uint64_t warmup = 8;
+  double sd_floor_frac = 0.05;
+};
+
+struct EwmaState {
+  Warmup base;
+  double ewma = 0.0;
+  double sd = 0.0;
+  bool ready = false;
+};
+
+/// Feeds one observation. Returns +1 (above band), -1 (below band), or 0.
+/// The band test uses the ewma BEFORE this observation folds in, so the
+/// verdict depends only on the prefix -- a value never tests against a
+/// band it just moved.
+inline int ewma_step(EwmaState& s, double x, const EwmaConfig& cfg) {
+  if (!s.ready) {
+    s.base.add(x);
+    if (s.base.n >= cfg.warmup) {
+      s.ready = true;
+      s.ewma = s.base.mean;
+      s.sd = s.base.floored_sd(cfg.sd_floor_frac);
+    }
+    return 0;
+  }
+  const double dev = x - s.ewma;
+  int fired = 0;
+  if (dev > cfg.band_k * s.sd) {
+    fired = 1;
+  } else if (dev < -cfg.band_k * s.sd) {
+    fired = -1;
+  }
+  s.ewma += cfg.alpha * (x - s.ewma);
+  return fired;
+}
+
+struct CusumConfig {
+  double k = 0.5;  ///< slack, in baseline sds (half the shift to detect)
+  double h = 5.0;  ///< decision threshold, in baseline sds
+  std::uint64_t warmup = 8;
+  double sd_floor_frac = 0.05;
+};
+
+struct CusumState {
+  Warmup base;
+  double sd = 0.0;
+  bool ready = false;
+  double s_pos = 0.0;
+  double s_neg = 0.0;
+};
+
+/// Feeds one observation. Returns +1 when the upward sum crosses h, -1 for
+/// the downward sum, 0 otherwise. The fired side resets to 0.
+inline int cusum_step(CusumState& s, double x, const CusumConfig& cfg) {
+  if (!s.ready) {
+    s.base.add(x);
+    if (s.base.n >= cfg.warmup) {
+      s.ready = true;
+      s.sd = s.base.floored_sd(cfg.sd_floor_frac);
+    }
+    return 0;
+  }
+  const double z = (x - s.base.mean) / s.sd;
+  double sp = s.s_pos + z - cfg.k;
+  double sn = s.s_neg - z - cfg.k;
+  s.s_pos = sp > 0.0 ? sp : 0.0;
+  s.s_neg = sn > 0.0 ? sn : 0.0;
+  if (s.s_pos > cfg.h) {
+    s.s_pos = 0.0;
+    return 1;
+  }
+  if (s.s_neg > cfg.h) {
+    s.s_neg = 0.0;
+    return -1;
+  }
+  return 0;
+}
+
+struct BurnConfig {
+  double threshold = 0.0;
+  std::uint64_t windows = 3;  ///< consecutive breaches before firing
+};
+
+struct BurnState {
+  std::uint64_t streak = 0;
+  bool armed = true;
+};
+
+/// Feeds one observation against "metric > threshold". Fires (returns
+/// true) exactly when the streak reaches cfg.windows; stays silent while
+/// the breach persists, and re-arms on the first healthy window.
+inline bool burn_step(BurnState& s, double x, const BurnConfig& cfg) {
+  if (!(x > cfg.threshold)) {
+    s.streak = 0;
+    s.armed = true;
+    return false;
+  }
+  s.streak += 1;
+  if (s.armed && s.streak >= cfg.windows) {
+    s.armed = false;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace bba::stats

@@ -1,15 +1,18 @@
 // Tests for the bba_obs CLI's shared pieces (tools/): the strict
 // bba.timeline.v1 artifact parser, the skipped-cell accounting in
 // normalized_samples (bba_obs diff used to silently thin sparse grids),
-// and the strict numeric flag validators that replaced atoi/atof.
+// the strict numeric flag validators that replaced atoi/atof, and the
+// bba.alerts.v1 parser behind `bba_obs health`.
 #include <gtest/gtest.h>
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "alerts_artifact.hpp"
 #include "cli_parse.hpp"
 #include "obs_artifact.hpp"
+#include "obs/monitor.hpp"
 #include "obs/timeline.hpp"
 #include "sim/metrics.hpp"
 
@@ -176,6 +179,156 @@ TEST(ObsArtifact, NormalizedSamplesCountSkippedCells) {
   // The out-param is optional, as the summary path uses it.
   EXPECT_EQ(normalized_samples(a, 1, 0, &CellData::rebuf_per_hour).size(),
             1u);
+}
+
+/// bba_obs timeline/summary print a one-line notice (and exit 0) instead
+/// of fabricated zero tables when an artifact holds no sessions; the
+/// predicate they branch on is "every group total has zero sessions".
+TEST(ObsArtifact, EmptyAggregatorRunYieldsZeroSessionTotals) {
+  obs::TimelineAggregator agg;
+  agg.begin_run(5, {"control", "bba2"}, 1, 12);
+  Artifact a;
+  std::string error;
+  ASSERT_TRUE(parse_artifact(agg.to_json(), "mem", &a, &error)) << error;
+  EXPECT_TRUE(a.cells.empty());
+  for (const CellData& total : a.group_totals()) {
+    EXPECT_EQ(total.sessions, 0u);
+  }
+  // The per-group sketches exist but are empty: the summary path must
+  // omit quantiles rather than print garbage.
+  ASSERT_EQ(a.sketches.size(), 2 * kNumSketchMetrics);
+  for (std::size_t i = 0; i < a.sketches.size(); ++i) {
+    EXPECT_EQ(a.sketches[i].count(), 0u) << i;
+  }
+}
+
+/// The real writer/reader contract for alerts: what HealthMonitor
+/// renders is exactly what `bba_obs health` parses back.
+TEST(AlertsArtifact, ParsesMonitorOutput) {
+  obs::MonitorSpec spec;
+  std::string error;
+  ASSERT_TRUE(
+      obs::MonitorSpec::parse("warmup=2,ewma_k=1.5,cusum_h=1", &spec, &error))
+      << error;
+  obs::HealthMonitor mon(spec);
+  mon.begin_run(13, {"control", "bba2"}, 1, 4);
+  sim::SessionMetrics m;
+  m.play_s = 100.0;
+  m.avg_rate_bps = 2.0e6;
+  for (std::size_t w = 0; w < 4; ++w) {
+    for (std::size_t g = 0; g < 2; ++g) {
+      m.join_s = (w == 3 && g == 1) ? 80.0 : 1.0;
+      mon.record(0, w, g, 0, m);
+    }
+  }
+  mon.finalize();
+
+  AlertsArtifact a;
+  ASSERT_TRUE(parse_alerts(mon.render(), "mem", &a, &error)) << error;
+  EXPECT_EQ(a.seed, 13u);
+  EXPECT_EQ(a.days, 1u);
+  EXPECT_EQ(a.windows, 4u);
+  ASSERT_EQ(a.groups.size(), 2u);
+  EXPECT_EQ(a.groups[1], "bba2");
+  EXPECT_EQ(a.warmup, 2u);
+  EXPECT_DOUBLE_EQ(a.ewma_k, 1.5);
+  EXPECT_DOUBLE_EQ(a.cusum_h, 1.0);
+  EXPECT_TRUE(a.capture);
+  ASSERT_FALSE(a.alerts.empty());
+  EXPECT_EQ(a.summary_alerts, a.alerts.size());
+  EXPECT_EQ(a.summary_cells, 8u);
+  // Only group bba2's last window deviated.
+  for (const AlertData& alert : a.alerts) {
+    EXPECT_EQ(alert.group, 1u);
+    EXPECT_EQ(alert.day, 0u);
+    EXPECT_EQ(alert.window, 3u);
+    EXPECT_EQ(alert.metric, "join_s");
+    EXPECT_TRUE(alert.kind == "ewma" || alert.kind == "cusum") << alert.kind;
+    if (alert.kind == "ewma") {
+      EXPECT_EQ(alert.dir, "up");
+      EXPECT_GT(alert.value, alert.center + alert.band);
+    }
+  }
+}
+
+/// A quiet fleet renders header + summary only; `bba_obs health` prints
+/// "healthy" off the empty alert list rather than inventing a table.
+TEST(AlertsArtifact, EmptyAlertListParsesClean) {
+  obs::HealthMonitor mon{obs::MonitorSpec{}};
+  mon.begin_run(1, {"control"}, 1, 2);
+  sim::SessionMetrics m;
+  m.play_s = 100.0;
+  mon.record(0, 0, 0, 0, m);
+  mon.record(0, 1, 0, 0, m);
+  mon.finalize();
+
+  AlertsArtifact a;
+  std::string error;
+  ASSERT_TRUE(parse_alerts(mon.render(), "mem", &a, &error)) << error;
+  EXPECT_TRUE(a.alerts.empty());
+  EXPECT_EQ(a.summary_alerts, 0u);
+  EXPECT_EQ(a.summary_cells, 2u);
+}
+
+TEST(AlertsArtifact, RejectsMalformedInput) {
+  obs::MonitorSpec spec;
+  std::string error;
+  ASSERT_TRUE(
+      obs::MonitorSpec::parse("warmup=2,ewma_k=1.5,cusum_h=1", &spec, &error))
+      << error;
+  obs::HealthMonitor mon(spec);
+  mon.begin_run(13, {"a"}, 1, 4);
+  sim::SessionMetrics m;
+  m.play_s = 100.0;
+  for (std::size_t w = 0; w < 4; ++w) {
+    m.join_s = w == 3 ? 80.0 : 1.0;
+    mon.record(0, w, 0, 0, m);
+  }
+  mon.finalize();
+  const std::string good = mon.render();
+  ASSERT_NE(good.find("\"ev\":\"alert\""), std::string::npos);
+
+  AlertsArtifact a;
+  // Wrong schema tag.
+  std::string wrong = good;
+  wrong.replace(wrong.find("v1"), 2, "v9");
+  EXPECT_FALSE(parse_alerts(wrong, "p", &a, &error));
+  EXPECT_NE(error.find("p: "), std::string::npos);
+
+  // Truncation (a killed writer) loses the summary trailer.
+  a = AlertsArtifact{};
+  EXPECT_FALSE(parse_alerts(good.substr(0, good.rfind('{')), "p", &a,
+                            &error));
+  EXPECT_NE(error.find("summary"), std::string::npos);
+
+  // Tampered seq breaks fold order.
+  a = AlertsArtifact{};
+  wrong = good;
+  wrong.replace(wrong.find("\"seq\":0"), 7, "\"seq\":3");
+  EXPECT_FALSE(parse_alerts(wrong, "p", &a, &error));
+  EXPECT_NE(error.find("fold order"), std::string::npos);
+
+  // group_name must agree with the group index.
+  a = AlertsArtifact{};
+  wrong = good;
+  wrong.replace(wrong.find("\"group_name\":\"a\""), 16,
+                "\"group_name\":\"b\"");
+  EXPECT_FALSE(parse_alerts(wrong, "p", &a, &error));
+  EXPECT_NE(error.find("group_name"), std::string::npos);
+
+  // Trailing data after the trailer (two artifacts concatenated).
+  a = AlertsArtifact{};
+  EXPECT_FALSE(parse_alerts(good + good, "p", &a, &error));
+  EXPECT_NE(error.find("trailing"), std::string::npos);
+
+  // Summary alert count must match the lines actually present.
+  a = AlertsArtifact{};
+  wrong = good;
+  const std::size_t alerts_pos = wrong.rfind(",\"alerts\":");
+  ASSERT_NE(alerts_pos, std::string::npos);
+  wrong.replace(alerts_pos, 11, ",\"alerts\":9");
+  EXPECT_FALSE(parse_alerts(wrong, "p", &a, &error));
+  EXPECT_NE(error.find("count"), std::string::npos);
 }
 
 }  // namespace

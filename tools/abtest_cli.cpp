@@ -288,6 +288,14 @@ int main(int argc, char** argv) {
   if (!obs_scope.ok()) return 1;
 
   if (sequential) {
+    if (!obs_opts.alerts_out.empty()) {
+      // The sequential engine folds keys in its own adaptive order, not
+      // the canonical grid, so the monitor's cell-close discipline does
+      // not apply; the alerts artifact would not be reproducible.
+      std::fprintf(stderr,
+                   "note: --alerts-out is not wired for --sequential runs; "
+                   "no alerts artifact will be written\n");
+    }
     std::size_t baseline_index = groups.size();
     for (std::size_t g = 0; g < groups.size(); ++g) {
       if (groups[g].name == baseline) baseline_index = g;

@@ -1,5 +1,6 @@
-// bba_obs: render the fleet telemetry artifact (--timeline-out /
-// $BBA_TIMELINE, schema "bba.timeline.v1") as the paper-style dashboard.
+// bba_obs: render the fleet telemetry artifacts (--timeline-out /
+// $BBA_TIMELINE, schema "bba.timeline.v1"; --alerts-out / $BBA_ALERTS,
+// schema "bba.alerts.v1") as the paper-style dashboard.
 //
 //   bba_obs timeline FILE [--csv]
 //       Hour-of-day rebuffer-rate / video-rate curves per group (days
@@ -14,17 +15,31 @@
 //       and metric (the harness's existing CI machinery). Cells with no
 //       sessions or an undefined baseline carry no sample; the skipA/skipB
 //       columns count them per row so sparse artifacts are visible.
+//   bba_obs health FILE
+//       Per-group health report over a bba.alerts.v1 artifact: alert
+//       tallies by detector, SLO burn attainment, a per-window alert
+//       activity sparkline, and the detector timeline (docs/monitoring.md).
+//   bba_obs monitor --follow FILE [--once]
+//       Tails a bbackpt checkpoint: one status line per save (fold cursor,
+//       alerts fired, last alert). --once prints the current state and
+//       exits; without it the tail ends when the run completes.
 //
-// The artifact model and its strict parser live in tools/obs_artifact.hpp
-// (shared with tests/test_obs_cli.cpp). Numeric flags go through the
-// strict tools/cli_parse.hpp validators -- "--confidence pony" is a
-// usage error, not a silent 0.0.
+// The artifact models and their strict parsers live in
+// tools/obs_artifact.hpp and tools/alerts_artifact.hpp (shared with
+// tests/test_obs_cli.cpp). Numeric flags go through the strict
+// tools/cli_parse.hpp validators -- "--confidence pony" is a usage error,
+// not a silent 0.0.
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <sys/stat.h>
+#include <thread>
 #include <vector>
 
+#include "alerts_artifact.hpp"
 #include "cli_parse.hpp"
+#include "exp/checkpoint.hpp"
 #include "obs_artifact.hpp"
 #include "stats/sketch.hpp"
 #include "stats/ttest.hpp"
@@ -32,10 +47,13 @@
 namespace {
 
 using bba::stats::QuantileSketch;
+using bba::tools::AlertData;
+using bba::tools::AlertsArtifact;
 using bba::tools::Artifact;
 using bba::tools::CellData;
 using bba::tools::kNumSketchMetrics;
 using bba::tools::kSketchMetrics;
+using bba::tools::load_alerts;
 using bba::tools::load_artifact;
 using bba::tools::normalized_samples;
 
@@ -79,6 +97,15 @@ int cmd_timeline(const std::string& path, bool csv) {
 
   const std::vector<CellData> by_window = a.merged_by_window();
   const std::vector<CellData> totals = a.group_totals();
+  unsigned long long fleet_sessions = 0;
+  for (const CellData& t : totals) fleet_sessions += t.sessions;
+  if (fleet_sessions == 0) {
+    // A valid but empty artifact (zero cells): a table of zeros reads
+    // like a measurement, so say what happened instead.
+    std::printf("fleet timeline %s: no sessions recorded (empty artifact)\n",
+                path.c_str());
+    return 0;
+  }
   double max_rebuf_ph = 0.0;
   for (const CellData& c : by_window) {
     if (c.rebuf_per_hour() > max_rebuf_ph) max_rebuf_ph = c.rebuf_per_hour();
@@ -126,12 +153,25 @@ int cmd_summary(const std::string& path) {
     return 1;
   }
   const std::vector<CellData> totals = a.group_totals();
+  unsigned long long fleet_sessions = 0;
+  for (const CellData& t : totals) fleet_sessions += t.sessions;
+  if (fleet_sessions == 0) {
+    std::printf("fleet summary %s: no sessions recorded (empty artifact)\n",
+                path.c_str());
+    return 0;
+  }
   std::printf("fleet summary %s: seed %llu (sketch quantiles, <=1.6%% "
               "relative error)\n",
               path.c_str(), a.seed);
   for (std::size_t g = 0; g < a.groups.size(); ++g) {
     std::printf("\ngroup %s: %llu sessions\n", a.groups[g].c_str(),
                 totals[g].sessions);
+    if (totals[g].sessions == 0) {
+      // Empty sketches would render as p10..p99 = 0 -- a fabricated
+      // measurement, not an observation.
+      std::printf("  (no sessions; quantiles omitted)\n");
+      continue;
+    }
     std::printf("  %-10s %12s %12s %12s %12s\n", "metric", "p10", "p50",
                 "p90", "p99");
     for (std::size_t m = 0; m < kNumSketchMetrics; ++m) {
@@ -224,21 +264,205 @@ int cmd_diff(const std::string& path_a, const std::string& path_b,
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// health: per-group report over the alerts artifact
+// ---------------------------------------------------------------------------
+
+int cmd_health(const std::string& path) {
+  AlertsArtifact a;
+  std::string error;
+  if (!load_alerts(path, &a, &error)) {
+    std::fprintf(stderr, "bba_obs: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("fleet health %s: seed %llu, %zu day%s x %zu windows, "
+              "%zu groups\n",
+              path.c_str(), a.seed, a.days, a.days == 1 ? "" : "s",
+              a.windows, a.groups.size());
+  std::printf("detectors: ewma (alpha %g, +/-%gsd), cusum (k %g, h %g), "
+              "slo burn (rebuffer_ratio>%g x%llu, join_s>%g x%llu), "
+              "warmup %llu cells\n",
+              a.ewma_alpha, a.ewma_k, a.cusum_k, a.cusum_h,
+              a.slo_rebuffer_ratio, a.slo_rebuffer_windows, a.slo_join_s,
+              a.slo_join_windows, a.warmup);
+  if (a.alerts.empty()) {
+    std::printf("healthy: no alerts fired over %llu non-empty cells\n",
+                a.summary_cells);
+    return 0;
+  }
+
+  const std::size_t grid = a.days * a.windows;
+  for (std::size_t g = 0; g < a.groups.size(); ++g) {
+    std::size_t n_ewma = 0, n_cusum = 0, n_slo = 0;
+    // Per-(day, window) alert counts for the sparkline, and the windows
+    // with at least one SLO burn alert for attainment.
+    std::vector<std::size_t> activity(grid, 0);
+    std::vector<bool> slo_burned(grid, false);
+    for (const AlertData& al : a.alerts) {
+      if (al.group != g) continue;
+      if (al.kind == "ewma") ++n_ewma;
+      if (al.kind == "cusum") ++n_cusum;
+      const std::size_t w = al.day * a.windows + al.window;
+      if (al.kind == "slo") {
+        ++n_slo;
+        slo_burned[w] = true;
+      }
+      ++activity[w];
+    }
+    std::size_t burned = 0, peak = 0, peak_w = 0;
+    for (std::size_t w = 0; w < grid; ++w) {
+      if (slo_burned[w]) ++burned;
+      if (activity[w] > peak) {
+        peak = activity[w];
+        peak_w = w;
+      }
+    }
+    std::printf("\ngroup %s: %zu alerts (%zu ewma, %zu cusum, %zu slo)\n",
+                a.groups[g].c_str(), n_ewma + n_cusum + n_slo, n_ewma,
+                n_cusum, n_slo);
+    std::printf("  slo attainment: %.1f%% of windows clear of burn "
+                "(%zu of %zu burned)\n",
+                100.0 * static_cast<double>(grid - burned) /
+                    static_cast<double>(grid),
+                burned, grid);
+    // Sparkline: one glyph per (day, window), alert count on a 5-level
+    // ASCII ramp scaled to this group's peak window.
+    std::string spark;
+    spark.reserve(grid + a.days);
+    constexpr char kRamp[] = " .:*#";
+    for (std::size_t w = 0; w < grid; ++w) {
+      if (w != 0 && w % a.windows == 0) spark += '|';
+      std::size_t level = 0;
+      if (peak > 0 && activity[w] > 0) {
+        level = 1 + activity[w] * 3 / peak;
+        if (level > 4) level = 4;
+      }
+      spark += kRamp[level];
+    }
+    std::printf("  activity [%s]", spark.c_str());
+    if (peak > 0) {
+      std::printf("  peak d%zu w%zu (%zu alerts)", peak_w / a.windows,
+                  peak_w % a.windows, peak);
+    }
+    std::printf("\n");
+    std::printf("  timeline:\n");
+    for (const AlertData& al : a.alerts) {
+      if (al.group != g) continue;
+      std::printf("    seq %-4llu d%zu w%-2zu %-5s %-14s", al.seq, al.day,
+                  al.window, al.kind.c_str(), al.metric.c_str());
+      if (al.kind == "ewma") {
+        std::printf(" %-4s value %.6g vs %.6g +/- %.6g\n", al.dir.c_str(),
+                    al.value, al.center, al.band);
+      } else if (al.kind == "cusum") {
+        std::printf(" %-4s value %.6g sum %.6g > h %.6g\n", al.dir.c_str(),
+                    al.value, al.sum, al.threshold);
+      } else {
+        std::printf(" up   value %.6g > slo %.6g for %llu windows\n",
+                    al.value, al.threshold, al.streak);
+      }
+    }
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// monitor: tail a checkpoint's health state
+// ---------------------------------------------------------------------------
+
+/// One status line from a loaded checkpoint's ALRT section.
+void print_monitor_status(const bba::exp::Checkpoint& ck) {
+  const bba::obs::MonitorState& st = ck.alerts;
+  const double pct =
+      ck.total_keys > 0
+          ? 100.0 * static_cast<double>(ck.cursor) /
+                static_cast<double>(ck.total_keys)
+          : 100.0;
+  std::printf("key %llu/%llu (%5.1f%%)  cells consumed %llu  alerts %llu",
+              static_cast<unsigned long long>(ck.cursor),
+              static_cast<unsigned long long>(ck.total_keys), pct,
+              static_cast<unsigned long long>(st.consumed),
+              static_cast<unsigned long long>(st.alert_seq));
+  if (st.deferred) std::printf("  [deferred: sharded run]");
+  if (!st.alert_log.empty()) {
+    // Last line of the alert log (it ends with '\n').
+    std::size_t start = st.alert_log.rfind('\n', st.alert_log.size() - 2);
+    start = start == std::string::npos ? 0 : start + 1;
+    std::printf("  last: %.*s",
+                static_cast<int>(st.alert_log.size() - 1 - start),
+                st.alert_log.c_str() + start);
+  }
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+int cmd_monitor(const std::string& path, bool once) {
+  std::time_t last_mtime = 0;
+  std::uint64_t last_cursor = 0;
+  bool printed = false;
+  for (;;) {
+    struct stat sb;
+    if (stat(path.c_str(), &sb) != 0) {
+      if (once) {
+        std::fprintf(stderr, "bba_obs: cannot stat %s\n", path.c_str());
+        return 1;
+      }
+      // Not written yet: keep waiting for the first save.
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+      continue;
+    }
+    if (sb.st_mtime != last_mtime || !printed) {
+      last_mtime = sb.st_mtime;
+      bba::exp::Checkpoint ck;
+      std::string error;
+      if (!bba::exp::load_checkpoint(path, &ck, &error)) {
+        // A save may be mid-rename; only a --once read treats it as fatal.
+        if (once) {
+          std::fprintf(stderr, "bba_obs: %s\n", error.c_str());
+          return 1;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(200));
+        continue;
+      }
+      if (!ck.has_alerts) {
+        std::fprintf(stderr,
+                     "bba_obs: %s has no health-monitor section (was the "
+                     "run started without --alerts-out?)\n",
+                     path.c_str());
+        return 1;
+      }
+      if (!printed || ck.cursor != last_cursor) {
+        print_monitor_status(ck);
+        printed = true;
+        last_cursor = ck.cursor;
+      }
+      if (once || ck.complete()) return 0;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  }
+}
+
 int usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s timeline FILE [--csv]\n"
       "       %s summary FILE\n"
       "       %s diff A.json B.json [--baseline GROUP] [--confidence C]\n"
+      "       %s health FILE\n"
+      "       %s monitor --follow FILE [--once]\n"
       "Renders bba.timeline.v1 artifacts (bba_abtest/bba_paper_report/\n"
-      "bba_session --timeline-out FILE, or $BBA_TIMELINE).\n"
+      "bba_session --timeline-out FILE, or $BBA_TIMELINE) and\n"
+      "bba.alerts.v1 artifacts (--alerts-out FILE, or $BBA_ALERTS).\n"
       "  timeline  hour-of-day session/rebuffer/rate table per group\n"
       "            (--csv: raw per-cell rows)\n"
       "  summary   p10/p50/p90/p99 of rate_bps, join_s, buffer_s per group\n"
       "  diff      Control-normalized per-window deltas between two runs\n"
       "            with Welch confidence intervals; reports how many grid\n"
-      "            cells carried no sample\n",
-      argv0, argv0, argv0);
+      "            cells carried no sample\n"
+      "  health    per-group alert tallies, SLO burn attainment, activity\n"
+      "            sparkline, and detector timeline (docs/monitoring.md)\n"
+      "  monitor   tail a bbackpt checkpoint's health state, one status\n"
+      "            line per save (--once: print current state and exit)\n",
+      argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -296,6 +520,25 @@ int main(int argc, char** argv) {
     }
     if (path_a.empty() || path_b.empty()) return usage(argv[0]);
     return cmd_diff(path_a, path_b, baseline, confidence);
+  }
+  if (cmd == "health") {
+    if (argc != 3) return usage(argv[0]);
+    return cmd_health(argv[2]);
+  }
+  if (cmd == "monitor") {
+    std::string path;
+    bool once = false;
+    for (int i = 2; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--follow") == 0 && i + 1 < argc) {
+        path = argv[++i];
+      } else if (std::strcmp(argv[i], "--once") == 0) {
+        once = true;
+      } else {
+        return usage(argv[0]);
+      }
+    }
+    if (path.empty()) return usage(argv[0]);
+    return cmd_monitor(path, once);
   }
   return usage(argv[0]);
 }

@@ -493,6 +493,18 @@ int main(int argc, char** argv) {
     tl->record(static_cast<std::size_t>(repro_day),
                static_cast<std::size_t>(repro_window), 0, m);
   }
+  // Same deal for --alerts-out: one session still exercises the full
+  // monitor fold (cell close + detectors), it just never alerts -- the
+  // detectors need `warmup` cells of baseline first.
+  if (obs_scope.active() && obs_scope.handle()->monitor != nullptr) {
+    obs::HealthMonitor* mon = obs_scope.handle()->monitor.get();
+    mon->begin_run(seed, std::vector<std::string>{abr_name},
+                   static_cast<std::size_t>(repro_day) + 1,
+                   exp::kWindowsPerDay);
+    mon->record(static_cast<std::size_t>(repro_day),
+                static_cast<std::size_t>(repro_window), 0,
+                static_cast<std::uint64_t>(repro_session), m);
+  }
 
   std::printf("abr=%s  trace=%s  video=%s\n", abr->name().c_str(),
               repro ? source_label.c_str()

@@ -27,6 +27,13 @@ Checks any combination of the three observability artifacts:
                         per-(day, window, group) cells with in-range
                         indices, plus per-group quantile sketches whose
                         zero + bucket counts sum to "count".
+  --alerts FILE.jsonl   health-monitor alerts (schema "bba.alerts.v1"):
+                        one header line carrying the grid and the pinned
+                        detector spec, alert lines in monotone fold order
+                        (seq 0,1,2,... with (day,window) non-decreasing)
+                        carrying the per-kind detector fields, and an
+                        {"ev":"summary"} trailer whose alert count matches
+                        the lines. Pass `-` to read from stdin.
 
 Exit status 0 when every requested file validates, 1 otherwise.
 """
@@ -208,6 +215,18 @@ def check_trace(path):
                         return fail(f"{path}:{lineno}: stall 'fault' flag "
                                     f"{ev['fault']} disagrees with the "
                                     f"recorded fault windows ({expect})")
+            elif kind == "alert":
+                # An alert-triggered capture marker (obs/monitor.hpp):
+                # rides right after its session header.
+                if sessions == 0:
+                    return fail(f"{path}:{lineno}: alert before any header")
+                for key in ("kind", "metric", "day", "window", "group"):
+                    if key not in ev:
+                        return fail(f"{path}:{lineno}: alert marker missing "
+                                    f"'{key}'")
+                if ev["kind"] not in ("ewma", "cusum", "slo"):
+                    return fail(f"{path}:{lineno}: unknown alert kind "
+                                f"{ev['kind']!r}")
             elif kind in ("off", "switch"):
                 if sessions == 0:
                     return fail(f"{path}:{lineno}: {kind} before any header")
@@ -356,16 +375,113 @@ def check_timeline(path):
     return True
 
 
+ALERT_HEADER_KEYS = ("schema", "seed", "days", "windows_per_day", "groups",
+                     "spec")
+ALERT_SPEC_KEYS = ("warmup", "ewma_alpha", "ewma_k", "cusum_k", "cusum_h",
+                   "sd_floor", "slo_rebuffer_ratio", "slo_rebuffer_windows",
+                   "slo_join_s", "slo_join_windows", "top_k", "capture")
+ALERT_KEYS = ("ev", "seq", "kind", "metric", "day", "window", "group",
+              "group_name", "value")
+ALERT_DETAIL_KEYS = {
+    "ewma": ("dir", "center", "band"),
+    "cusum": ("dir", "z", "sum", "threshold"),
+    "slo": ("threshold", "streak"),
+}
+ALERT_METRICS = ("rebuffer_ratio", "join_s", "rate_kbps", "fault_share")
+
+
+def check_alerts(path):
+    f = sys.stdin if path == "-" else open(path, "r", encoding="utf-8")
+    with f:
+        lines = [ln.strip() for ln in f if ln.strip()]
+    if not lines:
+        return fail(f"{path}: empty alerts artifact")
+    try:
+        docs = [json.loads(ln) for ln in lines]
+    except json.JSONDecodeError as e:
+        return fail(f"{path}: not JSONL ({e})")
+
+    head = docs[0]
+    if head.get("schema") != "bba.alerts.v1":
+        return fail(f"{path}: schema is {head.get('schema')!r}, expected "
+                    "'bba.alerts.v1'")
+    for key in ALERT_HEADER_KEYS:
+        if key not in head:
+            return fail(f"{path}: header missing '{key}'")
+    days, windows, groups = head["days"], head["windows_per_day"], \
+        head["groups"]
+    if not isinstance(days, int) or days < 1 or \
+            not isinstance(windows, int) or windows < 1:
+        return fail(f"{path}: header grid not positive ints")
+    if not isinstance(groups, list) or not groups or \
+            not all(isinstance(g, str) and g for g in groups):
+        return fail(f"{path}: 'groups' not a non-empty list of names")
+    for key in ALERT_SPEC_KEYS:
+        if key not in head["spec"]:
+            return fail(f"{path}: spec missing '{key}'")
+
+    tail = docs[-1]
+    if tail.get("ev") != "summary":
+        return fail(f"{path}: last line is not the summary trailer")
+    alerts = docs[1:-1]
+    if tail.get("alerts") != len(alerts):
+        return fail(f"{path}: summary says {tail.get('alerts')} alerts, "
+                    f"artifact carries {len(alerts)}")
+    if not isinstance(tail.get("cells"), int) or tail["cells"] < 0:
+        return fail(f"{path}: summary 'cells' not a non-negative int")
+
+    last_cell = -1
+    for i, al in enumerate(alerts):
+        lineno = i + 2
+        if al.get("ev") != "alert":
+            return fail(f"{path}:{lineno}: ev is {al.get('ev')!r}, "
+                        "expected 'alert'")
+        for key in ALERT_KEYS:
+            if key not in al:
+                return fail(f"{path}:{lineno}: alert missing '{key}'")
+        if al["seq"] != i:
+            return fail(f"{path}:{lineno}: seq {al['seq']} out of fold "
+                        f"order (expected {i})")
+        if al["kind"] not in ALERT_DETAIL_KEYS:
+            return fail(f"{path}:{lineno}: unknown alert kind "
+                        f"{al['kind']!r}")
+        for key in ALERT_DETAIL_KEYS[al["kind"]]:
+            if key not in al:
+                return fail(f"{path}:{lineno}: {al['kind']} alert missing "
+                            f"'{key}'")
+        if al["kind"] != "slo" and al["metric"] not in ALERT_METRICS:
+            return fail(f"{path}:{lineno}: unknown detector metric "
+                        f"{al['metric']!r}")
+        if al["day"] >= days or al["window"] >= windows or \
+                al["group"] >= len(groups):
+            return fail(f"{path}:{lineno}: alert indices out of range")
+        if al["group_name"] != groups[al["group"]]:
+            return fail(f"{path}:{lineno}: group_name {al['group_name']!r} "
+                        f"is not group {al['group']}")
+        # Cells close in canonical order, so the (day, window) stream is
+        # non-decreasing across the whole artifact.
+        cell = al["day"] * windows + al["window"]
+        if cell < last_cell:
+            return fail(f"{path}:{lineno}: alert cell (day {al['day']}, "
+                        "window {al['window']}) out of fold order")
+        last_cell = cell
+    print(f"ok: {path} ({len(alerts)} alerts, {tail['cells']} cells, "
+          f"{len(groups)} groups)")
+    return True
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--trace")
     parser.add_argument("--metrics")
     parser.add_argument("--profile")
     parser.add_argument("--timeline")
+    parser.add_argument("--alerts")
     args = parser.parse_args()
-    if not (args.trace or args.metrics or args.profile or args.timeline):
-        parser.error(
-            "nothing to check: pass --trace/--metrics/--profile/--timeline")
+    if not (args.trace or args.metrics or args.profile or args.timeline or
+            args.alerts):
+        parser.error("nothing to check: pass --trace/--metrics/--profile/"
+                     "--timeline/--alerts")
 
     ok = True
     if args.trace:
@@ -376,6 +492,8 @@ def main():
         ok = check_profile(args.profile) and ok
     if args.timeline:
         ok = check_timeline(args.timeline) and ok
+    if args.alerts:
+        ok = check_alerts(args.alerts) and ok
     return 0 if ok else 1
 
 
